@@ -1,0 +1,47 @@
+"""Benchmark: ablations over the inference engine's approximation knobs.
+
+DESIGN.md calls out three approximations on top of the paper's rejection
+sampling: the likelihood kernel, the hypothesis-count cap, and decision
+memoization.  This benchmark measures their cost/fidelity trade-off on a
+shortened Figure-3 scenario.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_inference_ablation
+from repro.experiments.ablation import AblationConfig
+from repro.metrics.summary import format_table
+
+BENCH_CONFIGS = (
+    AblationConfig(label="gaussian kernel / 200 hyps"),
+    AblationConfig(label="gaussian kernel / 50 hyps", max_hypotheses=50, top_k=8),
+    AblationConfig(label="exact (rejection) kernel", kernel="exact", kernel_scale=0.75),
+    AblationConfig(label="policy cache", use_policy_cache=True),
+)
+
+
+def test_inference_ablation(benchmark, table_printer):
+    result = benchmark.pedantic(
+        run_inference_ablation,
+        kwargs={"configs": BENCH_CONFIGS, "duration": 50.0},
+        iterations=1,
+        rounds=1,
+    )
+    table_printer(format_table(result.rows(), title="Inference ablation (shortened Figure-3 scenario)"))
+
+    outcomes = {outcome.config.label: outcome for outcome in result.outcomes}
+
+    # Every configuration must keep the sender functional.
+    for outcome in result.outcomes:
+        assert outcome.packets_sent > 5
+        assert outcome.goodput_bps > 0
+
+    # The full-size ensemble should identify the true link rate.
+    assert outcomes["gaussian kernel / 200 hyps"].posterior_true_link_rate > 0.5
+    # The rejection kernel also works here because the prior contains the truth.
+    assert outcomes["exact (rejection) kernel"].posterior_true_link_rate > 0.5
+    # The small cap is cheaper (fewer hypotheses carried around).
+    assert (
+        outcomes["gaussian kernel / 50 hyps"].final_hypotheses
+        <= outcomes["gaussian kernel / 200 hyps"].final_hypotheses
+    )

@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These do not correspond to a figure in the paper; they exist so regressions
+in the hot paths (the event loop, the queueing pair, the fast link model,
+belief updates) show up in benchmark history.
+"""
+
+from __future__ import annotations
+
+from repro.elements import Buffer, Collector, Throughput
+from repro.inference import AckObservation, BeliefState, GaussianKernel, single_link_prior
+from repro.inference.linkmodel import LinkModel, LinkModelParams
+from repro.sim.element import Network
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+
+
+def test_event_loop_throughput(benchmark):
+    def run_events() -> int:
+        sim = Simulator()
+        counter = {"fired": 0}
+
+        def tick() -> None:
+            counter["fired"] += 1
+            if counter["fired"] < 20_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return counter["fired"]
+
+    fired = benchmark(run_events)
+    assert fired == 20_000
+
+
+def test_queueing_chain_throughput(benchmark):
+    def run_chain() -> int:
+        network = Network(seed=0)
+        buffer = Buffer(capacity_bits=1e9, name="buf")
+        link = Throughput(rate_bps=1e6, name="link")
+        sink = Collector(name="sink")
+        buffer.connect(link)
+        link.connect(sink)
+        network.add(buffer)
+        network.start()
+        for seq in range(5_000):
+            buffer.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        network.run()
+        return sink.count()
+
+    delivered = benchmark(run_chain)
+    assert delivered == 5_000
+
+
+def test_link_model_advance_throughput(benchmark):
+    params = LinkModelParams(
+        link_rate_bps=12_000.0,
+        buffer_capacity_bits=96_000.0,
+        cross_rate_pps=0.7,
+        loss_rate=0.2,
+        mean_time_to_switch=100.0,
+    )
+
+    def run_model() -> int:
+        model = LinkModel(params)
+        for seq in range(500):
+            model.send_own(seq, 12_000.0, float(seq))
+        model.advance(1_000.0)
+        return len(model.predictions)
+
+    predictions = benchmark(run_model)
+    assert predictions == 500
+
+
+def test_belief_update_throughput(benchmark):
+    prior = single_link_prior(link_rate_points=9, fill_points=3)
+
+    def run_updates() -> int:
+        belief = BeliefState.from_prior(prior, kernel=GaussianKernel(sigma=0.3))
+        for seq in range(50):
+            time = float(seq)
+            belief.record_send(seq, 12_000.0, time)
+            belief.update(time + 1.0, [AckObservation(seq=seq, received_at=time + 1.0, ack_at=time + 1.0)])
+        return len(belief)
+
+    remaining = benchmark(run_updates)
+    assert remaining >= 1

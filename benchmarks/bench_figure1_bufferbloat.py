@@ -1,0 +1,45 @@
+"""Benchmark: Figure 1 — RTT of a TCP download over a bufferbloated cellular link.
+
+Regenerates the RTT-vs-time series of the paper's Figure 1 on the synthetic
+cellular link (deep buffer, variable rate, link-layer loss hiding) and
+checks its shape: the RTT starts near the base propagation delay and
+inflates by well over an order of magnitude as the loss-blind TCP download
+fills the buffer.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure1
+from repro.metrics.summary import format_table
+from repro.viz import ascii_plot
+
+#: Shortened duration used by the benchmark (the paper's trace covers ~250 s).
+BENCH_DURATION = 150.0
+
+
+def test_figure1_rtt_inflation(benchmark, table_printer):
+    result = benchmark.pedantic(
+        run_figure1,
+        kwargs={"duration": BENCH_DURATION},
+        iterations=1,
+        rounds=1,
+    )
+
+    table_printer(format_table(result.rows(window=25.0), title="Figure 1 — RTT during a TCP download (synthetic LTE)"))
+    table_printer(
+        ascii_plot(
+            {"rtt (s)": result.rtt},
+            title="Figure 1 — round-trip time vs. time (log scale)",
+            y_label="RTT",
+            logy=True,
+            height=14,
+        )
+    )
+
+    # Shape checks corresponding to the paper's observations.
+    assert result.rtt.min() < 5.0 * result.base_rtt, "RTT should start near the base RTT"
+    assert result.max_rtt > 1.0, "the bloated buffer should push RTT above one second"
+    assert result.inflation_factor > 10.0, "RTT should inflate by over an order of magnitude"
+    assert result.link_layer_retransmissions > 0, "loss must be hidden by the link layer"
+    # The sender keeps the link busy (bufferbloat, not starvation).
+    assert result.throughput_bps > 100_000.0

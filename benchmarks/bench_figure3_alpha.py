@@ -1,0 +1,55 @@
+"""Benchmark: Figure 3 — varying the priority (α) given to cross traffic.
+
+Regenerates the paper's main result on a shortened version of the §4
+scenario (the on/off half-period is 40 s instead of 100 s so the benchmark
+completes quickly; EXPERIMENTS.md records a full 300 s run) and checks the
+four qualitative claims the paper makes about the figure.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure3
+from repro.metrics.summary import format_table
+from repro.viz import ascii_plot
+
+BENCH_ALPHAS = (0.9, 1.0, 2.5, 5.0)
+BENCH_SWITCH_INTERVAL = 40.0
+BENCH_DURATION = 120.0
+
+
+def test_figure3_alpha_sweep(benchmark, table_printer):
+    result = benchmark.pedantic(
+        run_figure3,
+        kwargs={
+            "alphas": BENCH_ALPHAS,
+            "duration": BENCH_DURATION,
+            "switch_interval": BENCH_SWITCH_INTERVAL,
+        },
+        iterations=1,
+        rounds=1,
+    )
+
+    table_printer(
+        format_table(
+            result.rows(),
+            title="Figure 3 — results of varying priority to cross traffic",
+        )
+    )
+    table_printer(
+        ascii_plot(
+            result.series(),
+            title="Figure 3 — sequence number vs. time",
+            y_label="packets acked",
+            height=16,
+        )
+    )
+
+    claims = result.check_claims()
+    table_printer(f"qualitative claims: {claims}")
+
+    assert claims["starts_slowly"], "every sender should start slowly while uncertain"
+    assert claims["link_speed_when_cross_off"], (
+        "non-deferential senders should reach the link speed while cross traffic is off"
+    )
+    assert claims["deference_monotone_in_alpha"], "higher alpha should mean fewer packets sent"
+    assert claims["only_alpha_below_one_overflows"], "only alpha < 1 should overflow the buffer"

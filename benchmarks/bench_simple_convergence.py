@@ -1,0 +1,53 @@
+"""Benchmark: the §4 prose scenarios (simple configurations).
+
+Scenario A — unknown link speed and initial buffer occupancy: the sender
+starts tentatively, infers the parameters, then sends at exactly the link
+speed.
+
+Scenario B — cross traffic plus a latency-penalizing utility: the sender
+drains the shared buffer before ramping up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_convergence_scenario, run_drain_scenario
+from repro.metrics.summary import format_table
+
+
+def test_scenario_a_convergence_to_link_speed(benchmark, table_printer):
+    result = benchmark.pedantic(
+        run_convergence_scenario,
+        kwargs={"duration": 90.0},
+        iterations=1,
+        rounds=1,
+    )
+    table_printer(format_table(result.rows(), title="§4 scenario A — convergence to the link speed"))
+
+    assert result.converged, "the sender should settle at the true link speed"
+    assert result.posterior_true_rate_probability > 0.9, "the true rate should dominate the posterior"
+    assert result.early_rate_bps <= result.late_rate_bps + 1e-9, "the start should be tentative"
+    assert result.inferred_link_rate_bps == pytest.approx(result.true_link_rate_bps, rel=0.1)
+
+
+def test_scenario_b_drains_buffer_with_latency_penalty(benchmark, table_printer):
+    result = benchmark.pedantic(
+        run_drain_scenario,
+        kwargs={"duration": 60.0},
+        iterations=1,
+        rounds=1,
+    )
+    table_printer(
+        format_table(result.rows(), title="§4 scenario B — draining the buffer before sending")
+    )
+
+    assert result.penalized_sender_waits_longer, (
+        "the latency-penalizing sender should defer its ramp-up"
+    )
+    assert result.first_send_penalized > 0.5 * result.drain_time, (
+        "the deferral should be comparable to the buffer drain time"
+    )
+    assert result.late_rate_penalized_bps > 0.4 * 12_000.0, (
+        "after draining, the sender should still use the link"
+    )

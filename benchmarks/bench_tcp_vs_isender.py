@@ -1,0 +1,36 @@
+"""Benchmark: the motivating comparison — loss-blind TCP vs. the model-based sender.
+
+On a 12 kbit/s link with 20 % non-congestive stochastic loss (the §4
+parameters), NewReno's window collapses while the ISender, whose prior
+includes stochastic loss, keeps sending near the link speed.  This is the
+behaviour the paper's introduction and related-work sections describe.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_loss_comparison
+from repro.metrics.summary import format_table
+
+BENCH_DURATION = 150.0
+
+
+def test_tcp_vs_isender_under_stochastic_loss(benchmark, table_printer):
+    result = benchmark.pedantic(
+        run_loss_comparison,
+        kwargs={"duration": BENCH_DURATION},
+        iterations=1,
+        rounds=1,
+    )
+    table_printer(
+        format_table(
+            result.rows(),
+            title="Loss-blind TCP vs. model-based sender (20% stochastic loss)",
+        )
+    )
+    table_printer(f"ISender goodput advantage: {result.isender_advantage:.1f}x")
+
+    assert result.isender_goodput_bps > result.tcp_goodput_bps, "the ISender should win"
+    assert result.isender_advantage > 1.5, "the win should be substantial"
+    assert result.tcp_utilization < 0.6, "loss-blind TCP should fail to fill the link"
+    assert result.isender_utilization > 0.4, "the ISender should keep using the link"
+    assert result.tcp_timeouts > 0, "TCP should be suffering timeouts from the random loss"

@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one of the paper's figures (or prose results) on
+a shortened-but-faithful version of the paper's scenario, prints the table
+of rows/series the paper reports, and asserts the qualitative *shape* of the
+result (who wins, orderings, inflation factors).  Absolute numbers are not
+expected to match the paper — the substrate is a simulator, not the authors'
+testbed — and the shortened durations are noted in EXPERIMENTS.md alongside
+full-length runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_result_table(text: str) -> None:
+    """Print a table so ``pytest -s`` / benchmark output shows the reproduced rows."""
+    print()
+    print(text)
+
+
+@pytest.fixture
+def table_printer():
+    """Fixture exposing :func:`print_result_table` to the benchmarks."""
+    return print_result_table

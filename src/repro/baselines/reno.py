@@ -1,0 +1,27 @@
+"""TCP Reno: Tahoe plus fast recovery.
+
+On three duplicate ACKs the window is halved (rather than collapsed to one)
+and the sender stays in fast recovery until the loss is repaired.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.window import WindowSender
+
+
+class RenoSender(WindowSender):
+    """Slow start, congestion avoidance, fast retransmit, fast recovery."""
+
+    def on_ack_window(self, newly_acked: int) -> None:
+        for _ in range(newly_acked):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0
+            else:
+                self.cwnd += 1.0 / self.cwnd
+
+    def on_fast_retransmit(self) -> None:
+        self.ssthresh = max(self.flight_size() / 2.0, 2.0)
+        self.cwnd = self.ssthresh + 3.0  # window inflation
+
+    def on_recovery_exit(self) -> None:
+        self.cwnd = max(self.ssthresh, 1.0)  # deflate back to the halved window

@@ -1,0 +1,25 @@
+"""TCP Tahoe: slow start, congestion avoidance, and loss → window of one.
+
+Tahoe treats every loss signal (three duplicate ACKs or a timeout) the same
+way: halve the slow-start threshold and restart from a window of one packet.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.window import WindowSender
+
+
+class TahoeSender(WindowSender):
+    """The Jacobson (1988) congestion controller."""
+
+    def on_ack_window(self, newly_acked: int) -> None:
+        for _ in range(newly_acked):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0  # slow start: one packet per ACK
+            else:
+                self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+
+    def on_fast_retransmit(self) -> None:
+        self.ssthresh = max(self.flight_size() / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.in_recovery = False  # Tahoe has no fast-recovery phase

@@ -1,0 +1,20 @@
+"""A synthetic bufferbloated cellular link.
+
+Figure 1 of the paper shows the round-trip time of a TCP download over a
+commercial LTE network climbing from ~100 ms to roughly ten seconds because
+the network hides non-congestive losses behind link-layer retransmission and
+provisions very deep buffers.  We cannot replay the original Verizon trace,
+so this package builds the closest synthetic equivalent (see DESIGN.md,
+substitutions):
+
+* :class:`~repro.cellular.trace.RateProcess` — a bounded random-walk
+  service-rate process mimicking a time-varying radio channel.
+* :class:`~repro.cellular.link.CellularLink` — a deep tail-drop buffer
+  drained at the time-varying rate, with link-layer ARQ that converts
+  stochastic loss into delay instead of exposing it to the sender.
+"""
+
+from repro.cellular.link import CellularLink
+from repro.cellular.trace import RateProcess, constant_rate_process
+
+__all__ = ["CellularLink", "RateProcess", "constant_rate_process"]

@@ -1,0 +1,111 @@
+"""Synthetic time-varying link-rate traces.
+
+A cellular downlink's capacity varies on sub-second timescales with fading,
+scheduling, and cell load.  :class:`RateProcess` generates a piecewise-
+constant rate trace from a bounded multiplicative random walk, which captures
+the two properties Figure 1 depends on: the rate is sometimes much lower
+than its nominal value (so queues build) and it is autocorrelated (so the
+queues persist long enough to matter).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_right
+
+from repro.errors import ConfigurationError
+
+
+class RateProcess:
+    """A piecewise-constant, mean-reverting random-walk rate trace.
+
+    Parameters
+    ----------
+    nominal_bps:
+        Long-run central rate of the process.
+    min_bps / max_bps:
+        Hard bounds on the instantaneous rate.
+    step_interval:
+        Seconds between rate changes.
+    volatility:
+        Standard deviation of the per-step log-rate innovation.
+    reversion:
+        Strength of mean reversion toward ``nominal_bps`` per step (0..1).
+    duration:
+        Length of trace to pre-generate, in seconds.
+    seed:
+        Seed for the private random stream.
+    """
+
+    def __init__(
+        self,
+        nominal_bps: float,
+        min_bps: float,
+        max_bps: float,
+        step_interval: float = 0.5,
+        volatility: float = 0.35,
+        reversion: float = 0.15,
+        duration: float = 600.0,
+        seed: int = 0,
+    ) -> None:
+        if nominal_bps <= 0 or min_bps <= 0 or max_bps <= 0:
+            raise ConfigurationError("rates must be positive")
+        if not min_bps <= nominal_bps <= max_bps:
+            raise ConfigurationError("require min_bps <= nominal_bps <= max_bps")
+        if step_interval <= 0 or duration <= 0:
+            raise ConfigurationError("step_interval and duration must be positive")
+        if not 0.0 <= reversion <= 1.0:
+            raise ConfigurationError("reversion must lie in [0, 1]")
+        self.nominal_bps = nominal_bps
+        self.min_bps = min_bps
+        self.max_bps = max_bps
+        self.step_interval = step_interval
+        self.duration = duration
+        rng = random.Random(seed)
+        self._times: list[float] = []
+        self._rates: list[float] = []
+        log_rate = math.log(nominal_bps)
+        log_nominal = math.log(nominal_bps)
+        time = 0.0
+        while time < duration:
+            self._times.append(time)
+            rate = min(max_bps, max(min_bps, math.exp(log_rate)))
+            self._rates.append(rate)
+            log_rate += reversion * (log_nominal - log_rate) + rng.gauss(0.0, volatility)
+            time += step_interval
+
+    def rate_at(self, time: float) -> float:
+        """Instantaneous service rate at ``time`` (clamped to the trace ends)."""
+        if time <= 0:
+            return self._rates[0]
+        index = bisect_right(self._times, time) - 1
+        index = min(max(index, 0), len(self._rates) - 1)
+        return self._rates[index]
+
+    def mean_rate(self) -> float:
+        """Arithmetic mean of the generated trace."""
+        return sum(self._rates) / len(self._rates)
+
+    def min_rate(self) -> float:
+        """Smallest rate in the generated trace."""
+        return min(self._rates)
+
+    def samples(self) -> list[tuple[float, float]]:
+        """The full ``(time, rate)`` trace."""
+        return list(zip(self._times, self._rates))
+
+    def __len__(self) -> int:
+        return len(self._rates)
+
+
+def constant_rate_process(rate_bps: float, duration: float = 600.0) -> RateProcess:
+    """A degenerate :class:`RateProcess` pinned to a single rate (for tests)."""
+    return RateProcess(
+        nominal_bps=rate_bps,
+        min_bps=rate_bps,
+        max_bps=rate_bps,
+        volatility=0.0,
+        reversion=0.0,
+        duration=duration,
+    )

@@ -1,0 +1,86 @@
+"""Memoized decisions.
+
+The paper notes (§3.3) that "for a particular model and distribution of
+possible states, there will be a policy that can be computed in advance that
+prescribes the utility-maximizing behavior".  :class:`PolicyCache` is a
+pragmatic version of that observation: it memoizes planner decisions keyed
+on a coarse digest of the belief state, so repeated visits to effectively
+identical situations (for example the steady state once the parameters have
+been inferred) reuse the earlier computation instead of re-simulating every
+action.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.core.planner import Decision, ExpectedUtilityPlanner
+from repro.inference.belief import BeliefState
+
+
+class PolicyCache:
+    """A decision cache keyed on a discretized belief signature.
+
+    Parameters
+    ----------
+    planner:
+        The planner to consult on cache misses.
+    queue_resolution_bits:
+        Queue occupancies are rounded to this resolution when building the
+        cache key; coarser values give more cache hits at the cost of
+        slightly stale decisions.
+    max_entries:
+        Hard cap on the cache size (oldest entries are evicted first).
+    """
+
+    def __init__(
+        self,
+        planner: ExpectedUtilityPlanner,
+        queue_resolution_bits: float = 3_000.0,
+        max_entries: int = 4_096,
+    ) -> None:
+        self.planner = planner
+        self.queue_resolution_bits = queue_resolution_bits
+        self.max_entries = max_entries
+        self._cache: dict[Hashable, Decision] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def decide(self, belief: BeliefState, now: float) -> Decision:
+        """Return a cached decision when the belief looks the same, else plan."""
+        key = self._belief_key(belief)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        decision = self.planner.decide(belief, now)
+        if len(self._cache) >= self.max_entries:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = decision
+        return decision
+
+    def clear(self) -> None:
+        """Drop every cached decision."""
+        self._cache.clear()
+
+    @property
+    def size(self) -> int:
+        """Number of cached decisions."""
+        return len(self._cache)
+
+    def _belief_key(self, belief: BeliefState) -> Hashable:
+        """A coarse, time-invariant digest of the belief's decision-relevant state."""
+        parts = []
+        for hypothesis, weight in belief.top(self.planner.top_k):
+            model = hypothesis.model
+            parts.append(
+                (
+                    tuple(sorted(hypothesis.params.items())),
+                    round(weight, 3),
+                    model.gate_on,
+                    round(model.backlog_bits / self.queue_resolution_bits),
+                    model.busy,
+                )
+            )
+        return tuple(parts)

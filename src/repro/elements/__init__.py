@@ -1,0 +1,40 @@
+"""The paper's language of idealized network elements (§3.1).
+
+Every element is a subclass of :class:`repro.sim.element.Element` and can be
+freely combined with the others: chained with ``>>`` / SERIES, routed with
+DIVERTER, alternated with EITHER, gated with INTERMITTENT or SQUAREWAVE.
+"""
+
+from repro.elements.buffer import Buffer
+from repro.elements.collector import Collector, FlowTally
+from repro.elements.delay import Delay
+from repro.elements.diverter import Diverter
+from repro.elements.either import Either
+from repro.elements.gate import GateElement
+from repro.elements.intermittent import Intermittent
+from repro.elements.jitter import Jitter
+from repro.elements.loss import Loss
+from repro.elements.pinger import Pinger
+from repro.elements.receiver import Delivery, Receiver
+from repro.elements.series import Series
+from repro.elements.squarewave import SquareWave
+from repro.elements.throughput import Throughput
+
+__all__ = [
+    "Buffer",
+    "Collector",
+    "Delay",
+    "Delivery",
+    "Diverter",
+    "Either",
+    "FlowTally",
+    "GateElement",
+    "Intermittent",
+    "Jitter",
+    "Loss",
+    "Pinger",
+    "Receiver",
+    "Series",
+    "SquareWave",
+    "Throughput",
+]

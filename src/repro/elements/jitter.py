@@ -1,0 +1,51 @@
+"""JITTER — an extra delay applied to randomly selected packets.
+
+The paper (§3.1): "A delay of a certain amount, introduced to
+randomly-selected packets with a particular probability."  Because only
+some packets are delayed, the element can reorder traffic; that is inherent
+to the phenomenon being modelled.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.element import Element
+from repro.sim.packet import Packet
+
+
+class Jitter(Element):
+    """With probability ``probability``, delay a packet by ``delay`` seconds."""
+
+    def __init__(
+        self,
+        delay: float,
+        probability: float,
+        name: str | None = None,
+    ) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"jitter delay must be non-negative, got {delay!r}")
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"jitter probability must be within [0, 1], got {probability!r}"
+            )
+        super().__init__(name)
+        self.delay = float(delay)
+        self.probability = float(probability)
+        self.jittered_count = 0
+        self.untouched_count = 0
+
+    def receive(self, packet: Packet) -> None:
+        self.received_count += 1
+        if self.probability > 0.0 and self.rng("jitter").random() < self.probability:
+            self.jittered_count += 1
+            packet.meta["jittered"] = packet.meta.get("jittered", 0) + 1
+            self.trace("jitter", seq=packet.seq, flow=packet.flow, delay=self.delay)
+            self.sim.schedule(self.delay, self.emit, packet)
+        else:
+            self.untouched_count += 1
+            self.emit(packet)
+
+    def reset(self) -> None:
+        super().reset()
+        self.jittered_count = 0
+        self.untouched_count = 0

@@ -1,0 +1,90 @@
+"""PINGER — an isochronous source of cross traffic.
+
+The paper (§3.1): "An isochronous sender of cross traffic at a particular
+rate."  The pinger transmits fixed-size packets at exact intervals of
+``1 / rate_pps`` seconds.  A non-isochronous source can be modelled, as the
+paper suggests, by following a PINGER with one or more JITTER elements.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.element import SourceElement
+from repro.sim.packet import Packet
+from repro.units import DEFAULT_PACKET_BITS
+
+
+class Pinger(SourceElement):
+    """Sends a packet every ``1 / rate_pps`` seconds.
+
+    Parameters
+    ----------
+    rate_pps:
+        Sending rate in packets per second.
+    packet_bits:
+        Size of every generated packet.
+    flow:
+        Flow name stamped on generated packets (defaults to ``"cross"``).
+    start_time:
+        Absolute time of the first transmission.
+    stop_time:
+        Optional time after which no further packets are generated.
+    """
+
+    def __init__(
+        self,
+        rate_pps: float,
+        packet_bits: float = DEFAULT_PACKET_BITS,
+        flow: str = "cross",
+        name: str | None = None,
+        start_time: float = 0.0,
+        stop_time: float | None = None,
+    ) -> None:
+        if rate_pps <= 0:
+            raise ConfigurationError(f"pinger rate must be positive, got {rate_pps!r}")
+        if packet_bits <= 0:
+            raise ConfigurationError(f"packet size must be positive, got {packet_bits!r}")
+        super().__init__(name)
+        self.rate_pps = float(rate_pps)
+        self.packet_bits = float(packet_bits)
+        self.flow = flow
+        self.start_time = float(start_time)
+        self.stop_time = stop_time
+        self._next_seq = 0
+        self.sent_packets: list[Packet] = []
+
+    @property
+    def interval(self) -> float:
+        """Seconds between consecutive transmissions."""
+        return 1.0 / self.rate_pps
+
+    @property
+    def rate_bps(self) -> float:
+        """Offered load in bits per second."""
+        return self.rate_pps * self.packet_bits
+
+    def start(self) -> None:
+        first = max(self.start_time, self.sim.now)
+        self.sim.schedule_at(first, self._send)
+
+    def _send(self) -> None:
+        now = self.sim.now
+        if self.stop_time is not None and now > self.stop_time:
+            return
+        packet = Packet(
+            seq=self._next_seq,
+            flow=self.flow,
+            size_bits=self.packet_bits,
+            created_at=now,
+            sent_at=now,
+        )
+        self._next_seq += 1
+        self.sent_packets.append(packet)
+        self.trace("send", seq=packet.seq, flow=packet.flow)
+        self.emit(packet)
+        self.sim.schedule(self.interval, self._send)
+
+    def reset(self) -> None:
+        super().reset()
+        self._next_seq = 0
+        self.sent_packets = []

@@ -1,0 +1,60 @@
+"""SERIES — the sequential-composition combinator.
+
+The paper (§3.1): "Connects two network elements and sends the output of one
+to the input of the other."  Our implementation generalizes to any number of
+stages.  The combinator behaves like a single element: packets received by
+the series enter the first stage, and whatever leaves the last stage is
+emitted downstream of the series itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import WiringError
+from repro.sim.element import Element
+from repro.sim.packet import Packet
+
+
+class _Outlet(Element):
+    """Internal adapter that forwards the last stage's output out of the series."""
+
+    def __init__(self, owner: "Series") -> None:
+        super().__init__(f"{owner.name}-outlet")
+        self._owner = owner
+
+    def receive(self, packet: Packet) -> None:
+        self.received_count += 1
+        self._owner.emit(packet)
+
+
+class Series(Element):
+    """Composes two or more elements in sequence."""
+
+    def __init__(self, *stages: Element, name: str | None = None) -> None:
+        super().__init__(name)
+        if len(stages) < 1:
+            raise WiringError("a Series needs at least one stage")
+        self.stages: tuple[Element, ...] = tuple(stages)
+        self._outlet = _Outlet(self)
+        for upstream, downstream in zip(self.stages, self.stages[1:]):
+            upstream.connect(downstream)
+        self.stages[-1].connect(self._outlet)
+
+    def children(self) -> Iterable[Element]:
+        yield from self.stages
+        yield self._outlet
+
+    def start(self) -> None:
+        for stage in self.stages:
+            stage.start()
+
+    def receive(self, packet: Packet) -> None:
+        self.received_count += 1
+        self.stages[0].receive(packet)
+
+    def reset(self) -> None:
+        super().reset()
+        for stage in self.stages:
+            stage.reset()
+        self._outlet.reset()

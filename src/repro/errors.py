@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without also catching unrelated Python
+errors.  Sub-classes exist for the major subsystems (simulation wiring,
+simulation execution, inference, experiment configuration) so tests and
+applications can assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class WiringError(ReproError):
+    """An element graph is mis-wired (missing downstream, double attach, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly or reached a bad state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or with an invalid delay."""
+
+
+class InferenceError(ReproError):
+    """The belief state or a hypothesis was used incorrectly."""
+
+
+class DegenerateBeliefError(InferenceError):
+    """Every hypothesis was rejected: the prior cannot explain the data."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, prior, or utility function received invalid parameters."""
+
+
+class UtilityError(ReproError):
+    """A utility function received invalid parameters or inputs."""

@@ -1,0 +1,154 @@
+"""Ablations over the inference engine's approximation knobs.
+
+The paper points out that plain rejection sampling is computationally
+limited and that a deployable sender would use approximate Bayesian
+techniques.  DESIGN.md therefore calls out the approximation knobs this
+implementation exposes — the likelihood kernel, the ensemble-size cap, and
+decision memoization — and this module measures what each one costs or buys
+on a shortened Figure-3-style scenario: wall-clock time, number of planner
+rollouts, whether the sender still identifies the true link speed, and the
+posterior probability mass it places on that true value.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core import AlphaWeightedUtility, ExpectedUtilityPlanner, ISender
+from repro.inference import BeliefState, ExactMatchKernel, GaussianKernel, figure3_prior
+from repro.metrics.summary import ExperimentRow
+from repro.topology.presets import figure2_network
+from repro.units import DEFAULT_PACKET_BITS
+
+
+@dataclass
+class AblationConfig:
+    """One configuration of the inference/planning approximations."""
+
+    label: str
+    kernel: str = "gaussian"  # "gaussian" or "exact"
+    kernel_scale: float = 0.4
+    max_hypotheses: int = 200
+    top_k: int = 16
+    use_policy_cache: bool = False
+
+
+@dataclass
+class AblationOutcome:
+    """Measurements for one configuration."""
+
+    config: AblationConfig
+    wall_time: float
+    packets_sent: int
+    goodput_bps: float
+    rollouts: int
+    final_hypotheses: int
+    degenerate_updates: int
+    posterior_true_link_rate: float
+
+    def row(self) -> ExperimentRow:
+        return ExperimentRow(
+            label=self.config.label,
+            values={
+                "wall_time (s)": self.wall_time,
+                "goodput (bps)": self.goodput_bps,
+                "sent": self.packets_sent,
+                "rollouts": self.rollouts,
+                "hypotheses": self.final_hypotheses,
+                "degenerate": self.degenerate_updates,
+                "P(true link rate)": self.posterior_true_link_rate,
+            },
+        )
+
+
+@dataclass
+class AblationResult:
+    """All configurations, ready to print."""
+
+    duration: float
+    outcomes: list[AblationOutcome] = field(default_factory=list)
+
+    def rows(self) -> list[ExperimentRow]:
+        return [outcome.row() for outcome in self.outcomes]
+
+
+DEFAULT_CONFIGS = (
+    AblationConfig(label="gaussian kernel / 200 hyps"),
+    AblationConfig(label="gaussian kernel / 50 hyps", max_hypotheses=50, top_k=8),
+    AblationConfig(label="exact (rejection) kernel", kernel="exact", kernel_scale=0.75),
+    AblationConfig(label="policy cache", use_policy_cache=True),
+)
+
+
+def run_inference_ablation(
+    configs: tuple[AblationConfig, ...] = DEFAULT_CONFIGS,
+    duration: float = 60.0,
+    switch_interval: float = 30.0,
+    link_rate_bps: float = 12_000.0,
+    loss_rate: float = 0.2,
+    alpha: float = 1.0,
+    seed: int = 2,
+    packet_bits: float = DEFAULT_PACKET_BITS,
+) -> AblationResult:
+    """Run the shortened Figure-3 scenario once per ablation configuration."""
+    result = AblationResult(duration=duration)
+    for config in configs:
+        network = figure2_network(
+            link_rate_bps=link_rate_bps,
+            loss_rate=loss_rate,
+            switch_interval=switch_interval,
+            packet_bits=packet_bits,
+            seed=seed,
+        )
+        prior = figure3_prior(
+            link_rate_points=4,
+            cross_fraction_points=4,
+            loss_points=3,
+            buffer_points=2,
+            fill_points=1,
+            packet_bits=packet_bits,
+        )
+        if config.kernel == "exact":
+            kernel = ExactMatchKernel(tolerance=config.kernel_scale)
+        else:
+            kernel = GaussianKernel(sigma=config.kernel_scale)
+        belief = BeliefState.from_prior(prior, kernel=kernel, max_hypotheses=config.max_hypotheses)
+        planner = ExpectedUtilityPlanner(
+            AlphaWeightedUtility(alpha=alpha, discount_timescale=20.0),
+            packet_bits=packet_bits,
+            top_k=config.top_k,
+        )
+        sender = ISender(
+            belief,
+            planner,
+            network.sender_receiver,
+            packet_bits=packet_bits,
+            use_policy_cache=config.use_policy_cache,
+        )
+        sender.connect(network.entry)
+        network.network.add(sender)
+
+        started = time.perf_counter()
+        network.network.run(until=duration)
+        elapsed = time.perf_counter() - started
+
+        marginal = belief.posterior_marginal("link_rate_bps")
+        true_mass = sum(
+            probability
+            for value, probability in marginal.items()
+            if abs(value - link_rate_bps) < 1e-6
+        )
+        result.outcomes.append(
+            AblationOutcome(
+                config=config,
+                wall_time=elapsed,
+                packets_sent=sender.packets_sent,
+                goodput_bps=network.sender_receiver.throughput_bps(0.0, duration),
+                rollouts=planner.rollouts_performed,
+                final_hypotheses=len(belief),
+                degenerate_updates=belief.degenerate_updates,
+                posterior_true_link_rate=true_mass,
+            )
+        )
+    return result

@@ -1,0 +1,69 @@
+"""Shared helpers for the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import AlphaWeightedUtility, ExpectedUtilityPlanner, ISender
+from repro.core.utility import UtilityFunction
+from repro.inference import BeliefState, GaussianKernel, Prior
+from repro.topology.presets import Figure2Network, SingleLinkNetwork
+from repro.units import DEFAULT_PACKET_BITS
+
+
+@dataclass(frozen=True)
+class SenderSettings:
+    """Knobs of the model-based sender shared by several experiments.
+
+    ``discount_timescale`` and ``horizon`` trade off how strongly the
+    sender's utility weighs harm inflicted on cross traffic against its own
+    immediate throughput; the defaults are the calibration used for the
+    Figure-3 reproduction (see EXPERIMENTS.md).
+    """
+
+    alpha: float = 1.0
+    discount_timescale: float = 20.0
+    latency_penalty: float = 0.0
+    kernel_sigma: float = 0.4
+    max_hypotheses: int = 200
+    top_k: int = 16
+    packet_bits: float = DEFAULT_PACKET_BITS
+    use_policy_cache: bool = False
+
+
+def attach_isender(
+    network: Figure2Network | SingleLinkNetwork,
+    prior: Prior,
+    settings: SenderSettings,
+    utility: UtilityFunction | None = None,
+    stop_time: float | None = None,
+) -> ISender:
+    """Create an ISender over ``prior`` and wire it into a preset network."""
+    belief = BeliefState.from_prior(
+        prior,
+        kernel=GaussianKernel(sigma=settings.kernel_sigma),
+        max_hypotheses=settings.max_hypotheses,
+    )
+    if utility is None:
+        utility = AlphaWeightedUtility(
+            alpha=settings.alpha,
+            discount_timescale=settings.discount_timescale,
+            latency_penalty=settings.latency_penalty,
+        )
+    planner = ExpectedUtilityPlanner(
+        utility,
+        packet_bits=settings.packet_bits,
+        top_k=settings.top_k,
+    )
+    sender = ISender(
+        belief,
+        planner,
+        network.sender_receiver,
+        flow=network.sender_flow,
+        packet_bits=settings.packet_bits,
+        stop_time=stop_time,
+        use_policy_cache=settings.use_policy_cache,
+    )
+    sender.connect(network.entry)
+    network.network.add(sender)
+    return sender

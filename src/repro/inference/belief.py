@@ -1,0 +1,263 @@
+"""The sender's probability distribution over network configurations.
+
+The :class:`BeliefState` holds a weighted ensemble of
+:class:`~repro.inference.hypothesis.Hypothesis` objects and applies the
+sequential Bayesian update the paper describes (§3.2): every time the sender
+wakes up, each hypothesis is simulated forward to the present (forking on
+latent nondeterminism), scored against what actually happened, re-weighted,
+pruned, compacted, and renormalized.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import DegenerateBeliefError, InferenceError
+from repro.inference.hypothesis import Hypothesis
+from repro.inference.likelihood import GaussianKernel, LikelihoodKernel
+from repro.inference.observation import AckObservation
+from repro.inference.prior import Prior
+
+
+class BeliefState:
+    """A weighted ensemble of candidate network configurations.
+
+    Parameters
+    ----------
+    hypotheses:
+        Initial hypotheses.
+    weights:
+        Initial weights (normalized internally).
+    kernel:
+        Likelihood kernel for timing errors; defaults to a Gaussian kernel
+        with a 0.25 s standard deviation.
+    max_hypotheses:
+        Hard cap on the ensemble size after every update; lowest-weight
+        hypotheses are discarded first.
+    prune_fraction:
+        Hypotheses whose weight falls below ``prune_fraction`` times the
+        largest weight are discarded.
+    missing_grace:
+        Seconds of grace before an unacknowledged packet is charged to
+        stochastic loss (passed through to hypothesis scoring).
+    on_degenerate:
+        What to do when every hypothesis is rejected by an observation:
+        ``"keep"`` ignores the observation and keeps the pre-update weights
+        (robust default, counted in :attr:`degenerate_updates`), ``"raise"``
+        raises :class:`~repro.errors.DegenerateBeliefError`.
+    """
+
+    def __init__(
+        self,
+        hypotheses: Sequence[Hypothesis],
+        weights: Optional[Sequence[float]] = None,
+        kernel: Optional[LikelihoodKernel] = None,
+        max_hypotheses: int = 512,
+        prune_fraction: float = 1e-6,
+        missing_grace: float = 0.0,
+        on_degenerate: str = "keep",
+    ) -> None:
+        if not hypotheses:
+            raise InferenceError("a belief state needs at least one hypothesis")
+        if on_degenerate not in ("keep", "raise"):
+            raise InferenceError(f"unknown on_degenerate policy {on_degenerate!r}")
+        self._hypotheses = list(hypotheses)
+        if weights is None:
+            weights = [1.0] * len(self._hypotheses)
+        if len(weights) != len(self._hypotheses):
+            raise InferenceError("weights and hypotheses must have the same length")
+        self._weights = self._normalize(list(weights))
+        self.kernel: LikelihoodKernel = kernel if kernel is not None else GaussianKernel(sigma=0.25)
+        self.max_hypotheses = max_hypotheses
+        self.prune_fraction = prune_fraction
+        self.missing_grace = missing_grace
+        self.on_degenerate = on_degenerate
+        #: Every sequence number acknowledged so far.
+        self.acked_seqs: set[int] = set()
+        #: Number of updates in which every hypothesis was rejected.
+        self.degenerate_updates = 0
+        #: Number of updates applied.
+        self.updates_applied = 0
+        #: Number of hypotheses merged away by compaction, cumulative.
+        self.compacted_away = 0
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_prior(
+        cls,
+        prior: Prior,
+        hypothesis_factory: Optional[Callable[[Mapping[str, float]], Hypothesis]] = None,
+        start_time: float = 0.0,
+        **kwargs,
+    ) -> "BeliefState":
+        """Instantiate one hypothesis per prior grid point.
+
+        ``hypothesis_factory`` maps a parameter assignment to a Hypothesis;
+        by default :meth:`Hypothesis.from_params` is used, which covers every
+        configuration expressible by the fast link model.
+        """
+        hypotheses: list[Hypothesis] = []
+        weights: list[float] = []
+        for assignment, probability in prior.combinations():
+            if hypothesis_factory is not None:
+                hypothesis = hypothesis_factory(assignment)
+            else:
+                hypothesis = Hypothesis.from_params(assignment, start_time=start_time)
+            hypotheses.append(hypothesis)
+            weights.append(probability)
+        return cls(hypotheses, weights, **kwargs)
+
+    # -------------------------------------------------------------- inspection
+
+    @property
+    def hypotheses(self) -> list[Hypothesis]:
+        """The current hypotheses (aligned with :attr:`weights`)."""
+        return list(self._hypotheses)
+
+    @property
+    def weights(self) -> list[float]:
+        """The current normalized weights (aligned with :attr:`hypotheses`)."""
+        return list(self._weights)
+
+    def __len__(self) -> int:
+        return len(self._hypotheses)
+
+    def __iter__(self):
+        return iter(zip(self._hypotheses, self._weights))
+
+    def top(self, count: int) -> list[tuple[Hypothesis, float]]:
+        """The ``count`` highest-weight hypotheses, heaviest first."""
+        order = sorted(range(len(self._weights)), key=lambda i: self._weights[i], reverse=True)
+        return [(self._hypotheses[i], self._weights[i]) for i in order[:count]]
+
+    def map_estimate(self) -> Hypothesis:
+        """The maximum a-posteriori hypothesis."""
+        index = max(range(len(self._weights)), key=lambda i: self._weights[i])
+        return self._hypotheses[index]
+
+    def posterior_mean(self, parameter: str) -> float:
+        """Posterior mean of one parameter across the ensemble."""
+        total = 0.0
+        for hypothesis, weight in zip(self._hypotheses, self._weights):
+            value = hypothesis.params.get(parameter)
+            if value is None:
+                raise InferenceError(f"hypotheses carry no parameter named {parameter!r}")
+            total += float(value) * weight
+        return total
+
+    def posterior_marginal(self, parameter: str) -> dict[float, float]:
+        """Posterior probability of each distinct value of one parameter."""
+        marginal: dict[float, float] = {}
+        for hypothesis, weight in zip(self._hypotheses, self._weights):
+            value = hypothesis.params.get(parameter)
+            if value is None:
+                raise InferenceError(f"hypotheses carry no parameter named {parameter!r}")
+            marginal[value] = marginal.get(value, 0.0) + weight
+        return marginal
+
+    def effective_sample_size(self) -> float:
+        """``1 / sum(w^2)`` — a standard measure of ensemble degeneracy."""
+        return 1.0 / sum(weight * weight for weight in self._weights)
+
+    def entropy(self) -> float:
+        """Shannon entropy (nats) of the weight distribution."""
+        return -sum(w * math.log(w) for w in self._weights if w > 0.0)
+
+    # ------------------------------------------------------------------ update
+
+    def record_send(self, seq: int, size_bits: float, time: float) -> None:
+        """Inform every hypothesis that the sender transmitted packet ``seq``."""
+        for hypothesis in self._hypotheses:
+            hypothesis.record_send(seq, size_bits, time)
+
+    def update(self, now: float, acks: Iterable[AckObservation] = ()) -> None:
+        """Advance every hypothesis to ``now`` and condition on the new acks."""
+        acks = list(acks)
+        self.acked_seqs.update(ack.seq for ack in acks)
+
+        candidates: list[Hypothesis] = []
+        candidate_weights: list[float] = []
+        fallback: list[Hypothesis] = []
+        fallback_weights: list[float] = []
+
+        for hypothesis, weight in zip(self._hypotheses, self._weights):
+            for branch, branch_probability in hypothesis.evolve(now):
+                if branch_probability <= 0.0:
+                    continue
+                prior_weight = weight * branch_probability
+                fallback.append(branch)
+                fallback_weights.append(prior_weight)
+                log_likelihood = branch.score(
+                    acks,
+                    now,
+                    self.kernel,
+                    self.acked_seqs,
+                    missing_grace=self.missing_grace,
+                )
+                if log_likelihood == float("-inf"):
+                    continue
+                candidates.append(branch)
+                candidate_weights.append(prior_weight * math.exp(log_likelihood))
+
+        self.updates_applied += 1
+        if not candidates or sum(candidate_weights) <= 0.0:
+            self.degenerate_updates += 1
+            if self.on_degenerate == "raise":
+                raise DegenerateBeliefError(
+                    f"every hypothesis was rejected at t={now:.3f} "
+                    f"({len(acks)} acknowledgements in the update)"
+                )
+            candidates, candidate_weights = fallback, fallback_weights
+
+        candidates, candidate_weights = self._compact(candidates, candidate_weights)
+        candidates, candidate_weights = self._prune(candidates, candidate_weights)
+        self._hypotheses = candidates
+        self._weights = self._normalize(candidate_weights)
+
+    # ----------------------------------------------------------------- helpers
+
+    def _compact(
+        self, hypotheses: list[Hypothesis], weights: list[float]
+    ) -> tuple[list[Hypothesis], list[float]]:
+        """Merge hypotheses whose latent states have become identical (§3.2)."""
+        merged: dict[tuple, int] = {}
+        kept: list[Hypothesis] = []
+        kept_weights: list[float] = []
+        for hypothesis, weight in zip(hypotheses, weights):
+            key = hypothesis.signature()
+            if key in merged:
+                kept_weights[merged[key]] += weight
+                self.compacted_away += 1
+            else:
+                merged[key] = len(kept)
+                kept.append(hypothesis)
+                kept_weights.append(weight)
+        return kept, kept_weights
+
+    def _prune(
+        self, hypotheses: list[Hypothesis], weights: list[float]
+    ) -> tuple[list[Hypothesis], list[float]]:
+        """Drop negligible-weight hypotheses and enforce the ensemble cap."""
+        if not hypotheses:
+            return hypotheses, weights
+        heaviest = max(weights)
+        threshold = heaviest * self.prune_fraction
+        survivors = [
+            (hypothesis, weight)
+            for hypothesis, weight in zip(hypotheses, weights)
+            if weight >= threshold
+        ]
+        survivors.sort(key=lambda pair: pair[1], reverse=True)
+        survivors = survivors[: self.max_hypotheses]
+        kept = [hypothesis for hypothesis, _ in survivors]
+        kept_weights = [weight for _, weight in survivors]
+        return kept, kept_weights
+
+    @staticmethod
+    def _normalize(weights: list[float]) -> list[float]:
+        total = sum(weights)
+        if total <= 0.0:
+            raise InferenceError("cannot normalize an all-zero weight vector")
+        return [weight / total for weight in weights]

@@ -1,0 +1,395 @@
+"""A fast packet-level model of the Figure-2 topology class.
+
+One :class:`LinkModel` instance represents a single *possible configuration*
+of the network between the sender and its receiver: an isochronous cross
+traffic source (the PINGER) gated on/off, a shared tail-drop BUFFER, a
+THROUGHPUT-limited link, and last-mile stochastic LOSS — exactly the
+composition of the paper's Figure 2.
+
+It is deterministic given its latent state: the only randomness in the real
+network (stochastic loss, the gate's memoryless switching) is handled by the
+layers above — last-mile loss becomes a survival probability on each
+predicted delivery (folded into the acknowledgement likelihood), and gate
+switching is handled by the Hypothesis layer forking model clones.
+
+The class is deliberately lean because the belief state clones and advances
+hundreds of these models on every sender wake-up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError, InferenceError
+from repro.units import DEFAULT_PACKET_BITS
+
+#: Flow label used for the sender's own traffic inside the model.
+OWN = "own"
+
+#: Flow label used for cross traffic (and the initial buffer fill) inside the model.
+CROSS = "cross"
+
+
+@dataclass(frozen=True)
+class LinkModelParams:
+    """Static parameters of one candidate network configuration.
+
+    These are the quantities the paper's prior ranges over (§4): link speed,
+    buffer capacity and initial fullness, cross-traffic rate, stochastic loss
+    rate, and the cross-traffic gate's mean time to switch.
+    """
+
+    link_rate_bps: float
+    buffer_capacity_bits: float
+    initial_fill_bits: float = 0.0
+    loss_rate: float = 0.0
+    cross_rate_pps: float = 0.0
+    cross_packet_bits: float = DEFAULT_PACKET_BITS
+    mean_time_to_switch: Optional[float] = None
+    cross_initially_on: bool = True
+    filler_packet_bits: float = DEFAULT_PACKET_BITS
+
+    def __post_init__(self) -> None:
+        if self.link_rate_bps <= 0:
+            raise ConfigurationError("link_rate_bps must be positive")
+        if self.buffer_capacity_bits <= 0:
+            raise ConfigurationError("buffer_capacity_bits must be positive")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ConfigurationError("loss_rate must lie in [0, 1]")
+        if self.initial_fill_bits < 0 or self.initial_fill_bits > self.buffer_capacity_bits:
+            raise ConfigurationError("initial_fill_bits must lie in [0, buffer capacity]")
+        if self.cross_rate_pps < 0:
+            raise ConfigurationError("cross_rate_pps must be non-negative")
+        if self.mean_time_to_switch is not None and self.mean_time_to_switch <= 0:
+            raise ConfigurationError("mean_time_to_switch must be positive when given")
+
+    @property
+    def cross_rate_bps(self) -> float:
+        """Cross-traffic offered load in bits per second while the gate is on."""
+        return self.cross_rate_pps * self.cross_packet_bits
+
+    @property
+    def has_cross_traffic(self) -> bool:
+        """Whether the configuration contains a cross-traffic source at all."""
+        return self.cross_rate_pps > 0
+
+
+@dataclass(frozen=True, slots=True)
+class Prediction:
+    """The model's prediction for one of the sender's own packets."""
+
+    seq: int
+    kind: str  # "delivered" or "dropped"
+    time: float
+    survival: float
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the packet is predicted to reach the receiver (before loss)."""
+        return self.kind == "delivered"
+
+
+@dataclass(slots=True)
+class _QueuedPacket:
+    """A packet sitting in the modelled buffer or in service on the link."""
+
+    flow: str
+    seq: int
+    size_bits: float
+
+
+@dataclass(slots=True)
+class CrossTally:
+    """Cross-traffic outcomes accumulated by the model (used for utility)."""
+
+    deliveries: list[tuple[float, float]] = field(default_factory=list)
+    drops: list[tuple[float, float]] = field(default_factory=list)
+
+    def delivered_bits(self, start: float = float("-inf"), end: float = float("inf")) -> float:
+        """Bits delivered to the cross receiver within ``[start, end)``."""
+        return sum(bits for time, bits in self.deliveries if start <= time < end)
+
+    def dropped_bits(self, start: float = float("-inf"), end: float = float("inf")) -> float:
+        """Cross bits lost to buffer overflow within ``[start, end)``."""
+        return sum(bits for time, bits in self.drops if start <= time < end)
+
+
+class LinkModel:
+    """Deterministic forward model of one candidate network configuration."""
+
+    __slots__ = (
+        "params",
+        "time",
+        "gate_on",
+        "next_cross_time",
+        "_next_cross_seq",
+        "_queue",
+        "_queue_bits",
+        "_in_service",
+        "_service_completion",
+        "predictions",
+        "cross",
+        "own_sent",
+    )
+
+    def __init__(self, params: LinkModelParams, start_time: float = 0.0) -> None:
+        self.params = params
+        self.time = float(start_time)
+        self.gate_on = params.cross_initially_on and params.has_cross_traffic
+        self.next_cross_time = float(start_time) if self.gate_on else float("inf")
+        self._next_cross_seq = 0
+        self._queue: deque[_QueuedPacket] = deque()
+        self._queue_bits = 0.0
+        self._in_service: Optional[_QueuedPacket] = None
+        self._service_completion = float("inf")
+        #: Predictions for the sender's own packets, keyed by sequence number.
+        self.predictions: dict[int, Prediction] = {}
+        #: Cross-traffic outcome tallies (used by the planner's utility).
+        self.cross = CrossTally()
+        #: Times at which the sender's own packets entered this model.
+        self.own_sent: dict[int, float] = {}
+        self._load_initial_fill(start_time)
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def queue_bits(self) -> float:
+        """Bits waiting in the modelled buffer (excluding the packet in service)."""
+        return self._queue_bits
+
+    @property
+    def queue_packets(self) -> int:
+        """Number of packets waiting in the modelled buffer."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        """Whether the modelled link is currently transmitting."""
+        return self._in_service is not None
+
+    @property
+    def backlog_bits(self) -> float:
+        """Queued bits plus the size of the packet in service, if any."""
+        extra = self._in_service.size_bits if self._in_service is not None else 0.0
+        return self._queue_bits + extra
+
+    @property
+    def free_buffer_bits(self) -> float:
+        """Remaining buffer capacity in bits."""
+        return self.params.buffer_capacity_bits - self._queue_bits
+
+    def cross_backlog_bits(self) -> float:
+        """Cross-traffic bits still queued or in service (used by latency penalties)."""
+        total = sum(packet.size_bits for packet in self._queue if packet.flow == CROSS)
+        if self._in_service is not None and self._in_service.flow == CROSS:
+            total += self._in_service.size_bits
+        return total
+
+    def drain_time(self) -> float:
+        """Seconds needed to transmit everything currently queued or in service."""
+        remaining = self._queue_bits
+        if self._in_service is not None:
+            remaining += max(0.0, (self._service_completion - self.time) * self.params.link_rate_bps)
+            return remaining / self.params.link_rate_bps
+        return remaining / self.params.link_rate_bps
+
+    def predicted_delivery_if_sent_now(self, size_bits: float) -> float:
+        """Delivery time of a packet enqueued right now (ignoring future arrivals)."""
+        if self._in_service is None:
+            return self.time + size_bits / self.params.link_rate_bps
+        service_remaining = self._service_completion - self.time
+        return (
+            self.time
+            + service_remaining
+            + (self._queue_bits + size_bits) / self.params.link_rate_bps
+        )
+
+    # ------------------------------------------------------------------ clone
+
+    def clone(self, keep_history: bool = True) -> "LinkModel":
+        """Return an independent copy of the model.
+
+        With ``keep_history=False`` the cross-traffic tallies and resolved
+        predictions are not copied, which is what planner rollouts want: they
+        only care about what happens after the decision time.
+        """
+        duplicate = LinkModel.__new__(LinkModel)
+        duplicate.params = self.params
+        duplicate.time = self.time
+        duplicate.gate_on = self.gate_on
+        duplicate.next_cross_time = self.next_cross_time
+        duplicate._next_cross_seq = self._next_cross_seq
+        duplicate._queue = deque(
+            _QueuedPacket(p.flow, p.seq, p.size_bits) for p in self._queue
+        )
+        duplicate._queue_bits = self._queue_bits
+        if self._in_service is not None:
+            duplicate._in_service = _QueuedPacket(
+                self._in_service.flow, self._in_service.seq, self._in_service.size_bits
+            )
+        else:
+            duplicate._in_service = None
+        duplicate._service_completion = self._service_completion
+        if keep_history:
+            duplicate.predictions = dict(self.predictions)
+            duplicate.cross = CrossTally(
+                deliveries=list(self.cross.deliveries), drops=list(self.cross.drops)
+            )
+            duplicate.own_sent = dict(self.own_sent)
+        else:
+            duplicate.predictions = {}
+            duplicate.cross = CrossTally()
+            duplicate.own_sent = {}
+        return duplicate
+
+    # ------------------------------------------------------------- gate state
+
+    def set_gate(self, on: bool, time: Optional[float] = None) -> None:
+        """Force the cross-traffic gate on or off at ``time`` (default: now)."""
+        if not self.params.has_cross_traffic:
+            return
+        when = self.time if time is None else time
+        if on and not self.gate_on:
+            self.next_cross_time = max(when, self.time)
+        if not on:
+            self.next_cross_time = float("inf")
+        self.gate_on = on
+
+    # -------------------------------------------------------------- data path
+
+    def send_own(self, seq: int, size_bits: float, time: float) -> None:
+        """The sender transmits packet ``seq`` at ``time`` (must not be in the past)."""
+        if time < self.time - 1e-9:
+            raise InferenceError(
+                f"cannot send at {time:.6f}: model clock is already at {self.time:.6f}"
+            )
+        if time > self.time:
+            self.advance(time)
+        self.own_sent[seq] = time
+        self._enqueue(_QueuedPacket(OWN, seq, size_bits))
+
+    def advance(self, until: float) -> None:
+        """Run the model forward to ``until``, processing arrivals and departures."""
+        if until < self.time - 1e-9:
+            raise InferenceError(
+                f"cannot advance to {until:.6f}: model clock is already at {self.time:.6f}"
+            )
+        while True:
+            next_completion = self._service_completion
+            next_cross = self.next_cross_time if self.gate_on else float("inf")
+            next_event = min(next_completion, next_cross)
+            if next_event > until:
+                break
+            # Service completions are processed before arrivals at the same
+            # instant so a departing packet frees buffer space for a
+            # simultaneous arrival, matching the element-level simulator.
+            if next_completion <= next_cross:
+                self._complete_service(next_completion)
+            else:
+                self._cross_arrival(next_cross)
+        self.time = max(self.time, until)
+
+    # ---------------------------------------------------------------- scoring
+
+    def projected_delivery(self, seq: int) -> Optional[float]:
+        """Best-guess delivery time for an own packet still inside the model.
+
+        Returns ``None`` if the packet is unknown or already resolved into a
+        prediction.  The projection assumes the gate keeps its current state,
+        which is the same assumption planner rollouts make.
+        """
+        if seq in self.predictions:
+            return self.predictions[seq].time
+        if self._in_service is not None and self._in_service.flow == OWN and self._in_service.seq == seq:
+            return self._service_completion
+        ahead_bits = 0.0
+        if self._in_service is not None:
+            ahead_bits += max(0.0, (self._service_completion - self.time) * self.params.link_rate_bps)
+        for queued in self._queue:
+            if queued.flow == OWN and queued.seq == seq:
+                return self.time + (ahead_bits + queued.size_bits) / self.params.link_rate_bps
+            ahead_bits += queued.size_bits
+        return None
+
+    def signature(self) -> tuple:
+        """A hashable digest of the latent state, used for belief compaction."""
+        queue_key = tuple((p.flow, p.seq) for p in self._queue)
+        service_key = (
+            (self._in_service.flow, self._in_service.seq, round(self._service_completion, 6))
+            if self._in_service is not None
+            else None
+        )
+        return (
+            self.gate_on,
+            round(self._queue_bits, 3),
+            queue_key,
+            service_key,
+            round(self.next_cross_time, 6) if self.next_cross_time != float("inf") else None,
+        )
+
+    # ---------------------------------------------------------------- helpers
+
+    def _load_initial_fill(self, start_time: float) -> None:
+        remaining = self.params.initial_fill_bits
+        seq = -1
+        while remaining > 1e-9:
+            size = min(self.params.filler_packet_bits, remaining)
+            self._enqueue(_QueuedPacket(CROSS, seq, size))
+            remaining -= size
+            seq -= 1
+
+    def _enqueue(self, packet: _QueuedPacket) -> None:
+        if self._in_service is None:
+            self._start_service(packet)
+            return
+        if self._queue_bits + packet.size_bits <= self.params.buffer_capacity_bits + 1e-9:
+            self._queue.append(packet)
+            self._queue_bits += packet.size_bits
+            return
+        # Tail drop.
+        if packet.flow == OWN:
+            self.predictions[packet.seq] = Prediction(
+                seq=packet.seq, kind="dropped", time=self.time, survival=0.0
+            )
+        else:
+            self.cross.drops.append((self.time, packet.size_bits))
+
+    def _start_service(self, packet: _QueuedPacket) -> None:
+        self._in_service = packet
+        self._service_completion = self.time + packet.size_bits / self.params.link_rate_bps
+
+    def _complete_service(self, when: float) -> None:
+        packet = self._in_service
+        assert packet is not None
+        self.time = when
+        self._in_service = None
+        self._service_completion = float("inf")
+        if packet.flow == OWN:
+            self.predictions[packet.seq] = Prediction(
+                seq=packet.seq,
+                kind="delivered",
+                time=when,
+                survival=1.0 - self.params.loss_rate,
+            )
+        else:
+            self.cross.deliveries.append((when, packet.size_bits))
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._queue_bits -= nxt.size_bits
+            if self._queue_bits < 1e-9:
+                self._queue_bits = 0.0
+            self._start_service(nxt)
+
+    def _cross_arrival(self, when: float) -> None:
+        self.time = when
+        self._enqueue(_QueuedPacket(CROSS, self._next_cross_seq, self.params.cross_packet_bits))
+        self._next_cross_seq += 1
+        self.next_cross_time = when + 1.0 / self.params.cross_rate_pps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LinkModel(t={self.time:.3f}, queue={self._queue_bits:g}b, "
+            f"gate={'on' if self.gate_on else 'off'}, busy={self.busy})"
+        )

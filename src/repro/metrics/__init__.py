@@ -1,0 +1,16 @@
+"""Measurement utilities shared by experiments, benches, and examples."""
+
+from repro.metrics.flowstats import FlowStats, flow_stats_from_receiver
+from repro.metrics.summary import ExperimentRow, format_table
+from repro.metrics.timeseries import TimeSeries, rtt_series, sequence_series, windowed_rate
+
+__all__ = [
+    "ExperimentRow",
+    "FlowStats",
+    "TimeSeries",
+    "flow_stats_from_receiver",
+    "format_table",
+    "rtt_series",
+    "sequence_series",
+    "windowed_rate",
+]

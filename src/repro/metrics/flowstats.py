@@ -1,0 +1,65 @@
+"""Per-flow aggregate statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.elements.receiver import Delivery, Receiver
+
+
+@dataclass(frozen=True)
+class FlowStats:
+    """Summary statistics for one flow over an observation interval."""
+
+    flow: str
+    packets_delivered: int
+    bits_delivered: float
+    duration: float
+    mean_delay: float | None
+    max_delay: float | None
+    min_delay: float | None
+
+    @property
+    def throughput_bps(self) -> float:
+        """Average goodput over the observation interval."""
+        if self.duration <= 0:
+            return 0.0
+        return self.bits_delivered / self.duration
+
+    @property
+    def packets_per_second(self) -> float:
+        """Average delivery rate in packets per second."""
+        if self.duration <= 0:
+            return 0.0
+        return self.packets_delivered / self.duration
+
+
+def flow_stats(
+    deliveries: Sequence[Delivery],
+    flow: str,
+    start: float,
+    end: float,
+) -> FlowStats:
+    """Compute :class:`FlowStats` for ``flow`` over ``[start, end)``."""
+    rows = [d for d in deliveries if d.flow == flow and start <= d.received_at < end]
+    delays = [d.delay for d in rows]
+    return FlowStats(
+        flow=flow,
+        packets_delivered=len(rows),
+        bits_delivered=sum(d.size_bits for d in rows),
+        duration=end - start,
+        mean_delay=(sum(delays) / len(delays)) if delays else None,
+        max_delay=max(delays) if delays else None,
+        min_delay=min(delays) if delays else None,
+    )
+
+
+def flow_stats_from_receiver(
+    receiver: Receiver,
+    flow: str,
+    start: float,
+    end: float,
+) -> FlowStats:
+    """Convenience wrapper over :func:`flow_stats` for a Receiver element."""
+    return flow_stats(receiver.deliveries, flow=flow, start=start, end=end)

@@ -1,0 +1,203 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns a monotonically non-decreasing clock and a priority
+queue of :class:`~repro.sim.events.Event` objects.  It is deliberately
+small: elements schedule callbacks, the engine fires them in time order.
+Determinism is guaranteed by the ``(time, priority, insertion sequence)``
+ordering and by routing all randomness through
+:class:`~repro.sim.random.RngRegistry` streams rather than global state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import Event
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock, in seconds.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "hello")
+    >>> sim.run()
+    1
+    >>> fired
+    ['hello']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._event_seq = 0
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ clock
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled events that have not been cancelled."""
+        return sum(1 for event in self._queue if event.alive)
+
+    # -------------------------------------------------------------- scheduling
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` at absolute time ``time``.
+
+        Raises
+        ------
+        SchedulingError
+            If ``time`` lies in the simulated past or is not finite.
+        """
+        if not math.isfinite(time):
+            raise SchedulingError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event at {time:.6f}, clock is already at {self._now:.6f}"
+            )
+        event = Event(time, priority, self._event_seq, callback, args, kwargs)
+        self._event_seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` after a relative ``delay`` in seconds."""
+        if delay < 0:
+            raise SchedulingError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority, **kwargs)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        event.cancel()
+
+    # ---------------------------------------------------------------- running
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._discard_dead()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Fire the next live event.
+
+        Returns
+        -------
+        bool
+            ``True`` if an event fired, ``False`` if the queue was empty.
+        """
+        self._discard_dead()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        if event.time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event queue returned an event from the past")
+        self._now = event.time
+        self._events_processed += 1
+        event.fire()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would advance strictly beyond this time.  The
+            clock is left at ``until`` if it is reached.  ``None`` runs until
+            the queue drains.
+        max_events:
+            Optional hard cap on the number of events fired by this call,
+            useful as a runaway guard in tests.
+
+        Returns
+        -------
+        int
+            Number of events fired by this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+        return fired
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock to ``time`` without firing events.
+
+        Only valid when no live event is pending before ``time``; used by
+        hypothesis models that interleave analytic updates with event
+        processing.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot move the clock backwards from {self._now:.6f} to {time:.6f}"
+            )
+        next_time = self.peek_time()
+        if next_time is not None and next_time < time:
+            raise SimulationError(
+                "advance_to would skip a pending event; call run(until=...) instead"
+            )
+        self._now = time
+
+    # ---------------------------------------------------------------- helpers
+
+    def _discard_dead(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.6f}, pending={self.pending})"

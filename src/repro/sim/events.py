@@ -1,0 +1,65 @@
+"""Scheduled events for the discrete-event engine.
+
+An :class:`Event` is a callback bound to a simulation time.  Events are
+ordered by ``(time, priority, sequence)`` so that simultaneous events fire
+in a deterministic order: lower priority values first, then insertion
+order.  Cancelling an event marks it dead; the engine skips dead events
+lazily when they reach the head of the queue.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Event:
+    """A single scheduled callback.
+
+    Instances are created by :meth:`repro.sim.engine.Simulator.schedule_at`;
+    user code normally only keeps a reference in order to call
+    :meth:`cancel` later (for example to clear a retransmission timer).
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "kwargs", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead so the engine will skip it."""
+        self.cancelled = True
+
+    @property
+    def alive(self) -> bool:
+        """Whether the event is still pending (not cancelled)."""
+        return not self.cancelled
+
+    def fire(self) -> None:
+        """Invoke the callback.  The engine calls this; tests may too."""
+        self.callback(*self.args, **self.kwargs)
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """Total ordering key used by the engine's priority queue."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {name}, {state})"

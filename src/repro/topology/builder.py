@@ -1,0 +1,30 @@
+"""Helpers for wiring element graphs.
+
+These are conveniences on top of :meth:`repro.sim.element.Element.connect`;
+they exist so experiment code reads like the topology it builds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WiringError
+from repro.sim.element import Element
+
+
+def chain(*elements: Element) -> tuple[Element, Element]:
+    """Connect ``elements`` in order and return ``(first, last)``.
+
+    >>> first, last = chain(a, b, c)   # doctest: +SKIP
+    is equivalent to ``a >> b >> c`` but also returns the endpoints, which is
+    convenient when the chain is built from a list.
+    """
+    if not elements:
+        raise WiringError("chain() needs at least one element")
+    for upstream, downstream in zip(elements, elements[1:]):
+        upstream.connect(downstream)
+    return elements[0], elements[-1]
+
+
+def terminate(element: Element, sink: Element) -> Element:
+    """Connect the end of a path to a terminal sink and return the sink."""
+    element.connect(sink)
+    return sink

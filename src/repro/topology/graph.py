@@ -1,0 +1,93 @@
+"""Element-graph introspection: validation and networkx export.
+
+The simulator itself never needs a global view of the topology — packets
+simply follow downstream links — but experiments and tests benefit from
+being able to check that a hand-built graph is sane (terminated, acyclic)
+and to export it for inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.elements.collector import Collector
+from repro.elements.receiver import Receiver
+from repro.sim.element import Element, Network
+
+
+def _reachable(roots: Iterable[Element]) -> list[Element]:
+    seen: dict[int, Element] = {}
+    stack = list(roots)
+    while stack:
+        element = stack.pop()
+        if id(element) in seen:
+            continue
+        seen[id(element)] = element
+        if element.downstream is not None:
+            stack.append(element.downstream)
+        stack.extend(element.children())
+    return list(seen.values())
+
+
+def element_graph(roots: Iterable[Element]):
+    """Return a :class:`networkx.DiGraph` of the element graph.
+
+    Nodes are element names; edges carry a ``kind`` attribute of either
+    ``"downstream"`` or ``"child"``.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    elements = _reachable(roots)
+    for element in elements:
+        graph.add_node(element.name, kind=type(element).__name__)
+    for element in elements:
+        if element.downstream is not None:
+            graph.add_edge(element.name, element.downstream.name, kind="downstream")
+        for child in element.children():
+            graph.add_edge(element.name, child.name, kind="child")
+    return graph
+
+
+def validate_network(network: Network, require_terminated: bool = True) -> list[str]:
+    """Check an attached network for common wiring mistakes.
+
+    Returns a list of human-readable problem descriptions (empty when the
+    network looks sane).  Problems detected:
+
+    * downstream cycles (a packet could loop forever),
+    * paths that end at an element with no downstream which is neither a
+      :class:`Receiver` nor a :class:`Collector` (packets silently vanish),
+      unless ``require_terminated`` is ``False``.
+    """
+    problems: list[str] = []
+    elements = network.elements
+
+    # Cycle detection over downstream links only (children are containment).
+    colors: dict[int, int] = {}
+
+    def visit(element: Element, trail: list[str]) -> None:
+        state = colors.get(id(element), 0)
+        if state == 1:
+            problems.append("downstream cycle involving: " + " -> ".join(trail + [element.name]))
+            return
+        if state == 2:
+            return
+        colors[id(element)] = 1
+        if element.downstream is not None:
+            visit(element.downstream, trail + [element.name])
+        colors[id(element)] = 2
+
+    for element in elements:
+        visit(element, [])
+
+    if require_terminated:
+        for element in elements:
+            if element.downstream is None and not isinstance(element, (Receiver, Collector)):
+                if element.children() or type(element).__name__.startswith("_"):
+                    continue
+                problems.append(
+                    f"element {element.name!r} ({type(element).__name__}) has no downstream "
+                    "and is not a Receiver/Collector"
+                )
+    return problems

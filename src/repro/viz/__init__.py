@@ -1,0 +1,6 @@
+"""Plotting and export helpers (text-only: no plotting libraries required)."""
+
+from repro.viz.ascii_plot import ascii_plot
+from repro.viz.csv_out import write_rows_csv, write_series_csv
+
+__all__ = ["ascii_plot", "write_rows_csv", "write_series_csv"]

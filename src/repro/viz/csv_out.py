@@ -1,0 +1,48 @@
+"""CSV export of experiment rows and time series."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.metrics.summary import ExperimentRow
+from repro.metrics.timeseries import TimeSeries
+
+
+def write_series_csv(
+    path: str | Path,
+    series: Mapping[str, TimeSeries] | Mapping[str, Sequence[tuple[float, float]]],
+) -> Path:
+    """Write one or more ``(time, value)`` series to a long-format CSV file.
+
+    Columns are ``series``, ``time``, ``value`` so the file can be pivoted
+    directly by any plotting tool.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "time", "value"])
+        for name, value in series.items():
+            for time, sample in value:
+                writer.writerow([name, f"{time:.6f}", f"{sample:.6f}"])
+    return path
+
+
+def write_rows_csv(path: str | Path, rows: Iterable[ExperimentRow]) -> Path:
+    """Write :class:`ExperimentRow` objects to a CSV file (union of columns)."""
+    rows = list(rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns: list[str] = []
+    for row in rows:
+        for key in row.values:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["label", *columns])
+        for row in rows:
+            writer.writerow([row.label, *[row.values.get(column, "") for column in columns]])
+    return path

@@ -1,0 +1,27 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.element import Network
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator starting at time zero."""
+    return Simulator()
+
+
+@pytest.fixture
+def network() -> Network:
+    """A fresh network container with a fixed seed."""
+    return Network(seed=12345)
+
+
+@pytest.fixture
+def rng_registry() -> RngRegistry:
+    """A seeded random-stream registry."""
+    return RngRegistry(seed=7)

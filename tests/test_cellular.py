@@ -1,0 +1,154 @@
+"""Tests for the synthetic cellular link substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NewRenoSender
+from repro.cellular import CellularLink, RateProcess, constant_rate_process
+from repro.elements import Collector, Receiver
+from repro.errors import ConfigurationError
+from repro.sim.element import Network
+from repro.sim.packet import Packet
+
+
+class TestRateProcess:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RateProcess(nominal_bps=0, min_bps=1, max_bps=2)
+        with pytest.raises(ConfigurationError):
+            RateProcess(nominal_bps=5, min_bps=10, max_bps=20)
+        with pytest.raises(ConfigurationError):
+            RateProcess(nominal_bps=15, min_bps=10, max_bps=20, step_interval=0)
+        with pytest.raises(ConfigurationError):
+            RateProcess(nominal_bps=15, min_bps=10, max_bps=20, reversion=2.0)
+
+    def test_rates_stay_within_bounds(self):
+        process = RateProcess(nominal_bps=1e6, min_bps=2e5, max_bps=4e6, duration=120.0, seed=3)
+        for _, rate in process.samples():
+            assert 2e5 <= rate <= 4e6
+
+    def test_rate_at_is_piecewise_constant_and_clamped(self):
+        process = RateProcess(nominal_bps=1e6, min_bps=1e5, max_bps=4e6, step_interval=1.0, duration=10.0)
+        assert process.rate_at(-5.0) == process.rate_at(0.0)
+        assert process.rate_at(0.2) == process.rate_at(0.8)
+        assert process.rate_at(1e9) == process.samples()[-1][1]
+
+    def test_deterministic_given_seed(self):
+        first = RateProcess(nominal_bps=1e6, min_bps=1e5, max_bps=4e6, seed=9, duration=50.0)
+        second = RateProcess(nominal_bps=1e6, min_bps=1e5, max_bps=4e6, seed=9, duration=50.0)
+        assert first.samples() == second.samples()
+
+    def test_constant_process(self):
+        process = constant_rate_process(5e5, duration=30.0)
+        assert process.mean_rate() == pytest.approx(5e5)
+        assert process.min_rate() == pytest.approx(5e5)
+        assert len(process) > 0
+
+
+class TestCellularLink:
+    def make_link(self, **overrides):
+        defaults = dict(
+            rate_process=constant_rate_process(1_200_000.0, duration=300.0),
+            buffer_bits=1_200_000.0,
+            loss_rate=0.0,
+            propagation_delay=0.0,
+        )
+        defaults.update(overrides)
+        return CellularLink(**defaults)
+
+    def test_validation(self):
+        process = constant_rate_process(1e6)
+        with pytest.raises(ConfigurationError):
+            CellularLink(process, buffer_bits=0)
+        with pytest.raises(ConfigurationError):
+            CellularLink(process, buffer_bits=1, loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            CellularLink(process, buffer_bits=1, max_attempts=0)
+
+    def test_serves_packets_at_link_rate(self):
+        network = Network(seed=0)
+        link = self.make_link()
+        sink = Collector(name="sink")
+        link.connect(sink)
+        network.add(link)
+        network.start()
+        for seq in range(3):
+            link.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        network.run()
+        assert [p.delivered_at for p in sink.packets] == pytest.approx([0.01, 0.02, 0.03])
+
+    def test_deep_buffer_builds_queueing_delay(self):
+        network = Network(seed=0)
+        link = self.make_link(buffer_bits=2_400_000.0)
+        sink = Collector(name="sink")
+        link.connect(sink)
+        network.add(link)
+        network.start()
+        for seq in range(100):
+            link.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        assert link.occupancy_bits > 0
+        assert link.queueing_delay_estimate() > 0.5
+        network.run()
+        assert sink.packets[-1].delivered_at == pytest.approx(1.0, rel=0.05)
+
+    def test_tail_drop_when_buffer_full(self):
+        network = Network(seed=0)
+        link = self.make_link(buffer_bits=24_000.0)
+        sink = Collector(name="sink")
+        link.connect(sink)
+        network.add(link)
+        network.start()
+        for seq in range(10):
+            link.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        assert link.drop_count > 0
+
+    def test_loss_is_hidden_behind_retransmission(self):
+        network = Network(seed=1)
+        link = self.make_link(loss_rate=0.3, retransmit_delay=0.05)
+        sink = Collector(name="sink")
+        link.connect(sink)
+        network.add(link)
+        network.start()
+        for seq in range(200):
+            network.sim.schedule(seq * 0.02, link.receive, Packet(seq=seq, flow="f", size_bits=12_000, sent_at=seq * 0.02))
+        network.run()
+        # Nothing is lost end-to-end...
+        assert sink.count() == 200
+        # ...but the loss shows up as link-layer retransmissions (delay).
+        assert link.link_layer_retransmissions > 20
+
+    def test_gives_up_after_max_attempts(self):
+        network = Network(seed=1)
+        link = self.make_link(loss_rate=0.9, max_attempts=2)
+        sink = Collector(name="sink")
+        link.connect(sink)
+        network.add(link)
+        network.start()
+        for seq in range(50):
+            link.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        network.run()
+        assert link.abandoned_packets > 0
+        assert sink.count() + link.abandoned_packets + link.drop_count == 50
+
+
+class TestBufferbloatMechanism:
+    def test_tcp_inflates_rtt_on_deep_buffer(self):
+        """The Figure-1 mechanism in miniature: RTT grows with the queue."""
+        network = Network(seed=2)
+        process = constant_rate_process(1_000_000.0, duration=200.0)
+        link = CellularLink(
+            rate_process=process,
+            buffer_bits=8.0 * 1_000_000.0,
+            loss_rate=0.02,
+            propagation_delay=0.03,
+        )
+        receiver = Receiver(name="rx", accept_flows={"tcp"})
+        sender = NewRenoSender(receiver, flow="tcp", initial_ssthresh=1e9)
+        sender.connect(link)
+        link.connect(receiver)
+        network.add(sender)
+        network.run(until=60.0)
+        rtts = [sample.rtt for sample in sender.rtt_samples]
+        assert min(rtts) < 0.2
+        assert max(rtts) > 10 * min(rtts)

@@ -1,0 +1,221 @@
+"""Tests for the BUFFER + THROUGHPUT queueing pair and the DELAY element."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.elements import Buffer, Collector, Delay, Throughput
+from repro.errors import ConfigurationError
+from repro.sim.element import Network
+from repro.sim.packet import Packet
+
+
+def make_chain(network, capacity_bits=48_000, rate_bps=12_000, initial_fill=0.0):
+    """Buffer -> Throughput -> Collector attached to ``network``."""
+    buffer = Buffer(capacity_bits=capacity_bits, initial_fill_bits=initial_fill, name="buf")
+    link = Throughput(rate_bps=rate_bps, name="link")
+    sink = Collector(name="sink")
+    buffer.connect(link)
+    link.connect(sink)
+    network.add(buffer)
+    return buffer, link, sink
+
+
+class TestThroughput:
+    def test_single_packet_takes_serialization_time(self, network):
+        link = Throughput(rate_bps=12_000, name="link")
+        sink = Collector(name="sink")
+        link.connect(sink)
+        network.add(link)
+        network.start()
+        link.receive(Packet(seq=0, flow="f", size_bits=12_000, sent_at=0.0))
+        network.run()
+        assert sink.count() == 1
+        assert sink.packets[0].delivered_at == pytest.approx(1.0)
+
+    def test_back_to_back_packets_queue_internally(self, network):
+        link = Throughput(rate_bps=12_000, name="link")
+        sink = Collector(name="sink")
+        link.connect(sink)
+        network.add(link)
+        network.start()
+        for seq in range(3):
+            link.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        network.run()
+        deliveries = [p.delivered_at for p in sink.packets]
+        assert deliveries == pytest.approx([1.0, 2.0, 3.0])
+        assert link.packets_transmitted == 3
+        assert link.bits_transmitted == pytest.approx(36_000)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            Throughput(rate_bps=0)
+
+    def test_idle_flag(self, network):
+        link = Throughput(rate_bps=1_000, name="link")
+        link.connect(Collector(name="sink"))
+        network.add(link)
+        network.start()
+        assert link.idle
+        link.receive(Packet(seq=0, flow="f", size_bits=1_000))
+        assert not link.idle
+        network.run()
+        assert link.idle
+
+
+class TestBuffer:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Buffer(capacity_bits=0)
+        with pytest.raises(ConfigurationError):
+            Buffer(capacity_bits=100, initial_fill_bits=200)
+
+    def test_packets_flow_through_fifo(self, network):
+        buffer, link, sink = make_chain(network)
+        network.start()
+        for seq in range(3):
+            buffer.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        network.run()
+        assert [p.seq for p in sink.packets] == [0, 1, 2]
+        assert buffer.drop_count == 0
+
+    def test_tail_drop_when_full(self, network):
+        # Capacity of 24,000 bits holds two 12,000-bit packets in the queue;
+        # one more is in service at the link, so the 4th and later arrivals
+        # of an instantaneous burst are dropped.
+        buffer, link, sink = make_chain(network, capacity_bits=24_000)
+        network.start()
+        for seq in range(6):
+            buffer.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        assert buffer.drop_count == 3
+        network.run()
+        assert sink.count() == 3
+        assert [p.seq for p in sink.packets] == [0, 1, 2]
+        dropped_seqs = [p.seq for p in buffer.dropped_packets]
+        assert dropped_seqs == [3, 4, 5]
+
+    def test_occupancy_tracks_queue(self, network):
+        buffer, link, sink = make_chain(network, capacity_bits=48_000)
+        network.start()
+        assert buffer.occupancy_bits == 0
+        for seq in range(3):
+            buffer.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        # One packet is in service, two remain queued.
+        assert buffer.occupancy_packets == 2
+        assert buffer.occupancy_bits == pytest.approx(24_000)
+        network.run()
+        assert buffer.occupancy_bits == 0
+        assert buffer.peak_occupancy_bits >= 24_000
+
+    def test_initial_fill_delays_first_packet(self, network):
+        # 24,000 bits of background fill ahead of us on a 12,000 bit/s link
+        # delays our first packet by 2 seconds of drain plus its own
+        # serialization time.
+        buffer, link, sink = make_chain(network, capacity_bits=96_000, initial_fill=24_000)
+        network.start()
+        buffer.receive(Packet(seq=0, flow="f", size_bits=12_000, sent_at=0.0))
+        network.run()
+        ours = [p for p in sink.packets if p.flow == "f"]
+        assert len(ours) == 1
+        assert ours[0].delivered_at == pytest.approx(3.0)
+        background = [p for p in sink.packets if p.flow == "background"]
+        assert sum(p.size_bits for p in background) == pytest.approx(24_000)
+
+    def test_pass_through_without_draining_link(self, network):
+        buffer = Buffer(capacity_bits=12_000, name="buf")
+        sink = Collector(name="sink")
+        buffer.connect(sink)
+        network.add(buffer)
+        network.start()
+        for seq in range(5):
+            buffer.receive(Packet(seq=seq, flow="f", size_bits=12_000))
+        assert sink.count() == 5
+        assert buffer.drop_count == 0
+
+    def test_queued_flows_breakdown(self, network):
+        buffer, link, sink = make_chain(network, capacity_bits=48_000)
+        network.start()
+        buffer.receive(Packet(seq=0, flow="a", size_bits=12_000))
+        buffer.receive(Packet(seq=1, flow="b", size_bits=12_000))
+        buffer.receive(Packet(seq=2, flow="b", size_bits=12_000))
+        assert buffer.queued_flows() == {"b": 2}
+
+
+class TestDelay:
+    def test_fixed_delay(self, network):
+        delay = Delay(delay=0.5, name="delay")
+        sink = Collector(name="sink")
+        delay.connect(sink)
+        network.add(delay)
+        network.start()
+        delay.receive(Packet(seq=0, flow="f", sent_at=0.0))
+        network.run()
+        assert sink.packets[0].delivered_at == pytest.approx(0.5)
+
+    def test_zero_delay_is_synchronous(self, network):
+        delay = Delay(delay=0.0, name="delay")
+        sink = Collector(name="sink")
+        delay.connect(sink)
+        network.add(delay)
+        network.start()
+        delay.receive(Packet(seq=0, flow="f"))
+        assert sink.count() == 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Delay(delay=-1.0)
+
+    def test_preserves_order(self, network):
+        delay = Delay(delay=0.25, name="delay")
+        sink = Collector(name="sink")
+        delay.connect(sink)
+        network.add(delay)
+        network.start()
+        network.sim.schedule(0.0, delay.receive, Packet(seq=0, flow="f"))
+        network.sim.schedule(0.1, delay.receive, Packet(seq=1, flow="f"))
+        network.run()
+        assert [p.seq for p in sink.packets] == [0, 1]
+
+
+class TestQueueingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(min_value=1_000, max_value=20_000), min_size=1, max_size=20),
+        capacity=st.integers(min_value=10_000, max_value=200_000),
+    )
+    def test_conservation_delivered_plus_dropped_equals_offered(self, sizes, capacity):
+        network = Network(seed=1)
+        buffer = Buffer(capacity_bits=capacity, name="buf")
+        link = Throughput(rate_bps=10_000, name="link")
+        sink = Collector(name="sink")
+        buffer.connect(link)
+        link.connect(sink)
+        network.add(buffer)
+        network.start()
+        for seq, size in enumerate(sizes):
+            buffer.receive(Packet(seq=seq, flow="f", size_bits=size, sent_at=0.0))
+        network.run()
+        assert sink.count() + buffer.drop_count == len(sizes)
+        delivered_bits = sum(p.size_bits for p in sink.packets)
+        dropped_bits = sum(p.size_bits for p in buffer.dropped_packets)
+        assert delivered_bits + dropped_bits == pytest.approx(sum(sizes))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(min_value=1_000, max_value=20_000), min_size=1, max_size=20),
+    )
+    def test_occupancy_never_exceeds_capacity(self, sizes):
+        capacity = 50_000
+        network = Network(seed=1)
+        buffer = Buffer(capacity_bits=capacity, name="buf")
+        link = Throughput(rate_bps=5_000, name="link")
+        buffer.connect(link)
+        link.connect(Collector(name="sink"))
+        network.add(buffer)
+        network.start()
+        for seq, size in enumerate(sizes):
+            buffer.receive(Packet(seq=seq, flow="f", size_bits=size, sent_at=0.0))
+            assert buffer.occupancy_bits <= capacity + 1e-6
+        network.run()
+        assert buffer.occupancy_bits == 0

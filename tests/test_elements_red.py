@@ -1,0 +1,152 @@
+"""Tests for the RED (active queue management) buffer element."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NewRenoSender
+from repro.elements import Collector, Receiver, Throughput
+from repro.elements.red import RedBuffer
+from repro.errors import ConfigurationError
+from repro.sim.element import Network
+from repro.sim.packet import Packet
+
+
+def make_chain(network, capacity=480_000.0, min_th=120_000.0, max_th=360_000.0, **kwargs):
+    red = RedBuffer(
+        capacity_bits=capacity,
+        min_threshold_bits=min_th,
+        max_threshold_bits=max_th,
+        name="red",
+        **kwargs,
+    )
+    link = Throughput(rate_bps=100_000.0, name="link")
+    sink = Collector(name="sink")
+    red.connect(link)
+    link.connect(sink)
+    network.add(red)
+    network.start()
+    return red, link, sink
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RedBuffer(capacity_bits=0, min_threshold_bits=1, max_threshold_bits=2)
+        with pytest.raises(ConfigurationError):
+            RedBuffer(capacity_bits=100, min_threshold_bits=90, max_threshold_bits=50)
+        with pytest.raises(ConfigurationError):
+            RedBuffer(capacity_bits=100, min_threshold_bits=10, max_threshold_bits=200)
+        with pytest.raises(ConfigurationError):
+            RedBuffer(
+                capacity_bits=100,
+                min_threshold_bits=10,
+                max_threshold_bits=50,
+                max_drop_probability=0.0,
+            )
+        with pytest.raises(ConfigurationError):
+            RedBuffer(
+                capacity_bits=100, min_threshold_bits=10, max_threshold_bits=50, weight=2.0
+            )
+
+
+class TestDropBehaviour:
+    def test_no_drops_below_min_threshold(self, network):
+        red, link, sink = make_chain(network)
+        for seq in range(5):
+            red.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        network.run()
+        assert red.drop_count == 0
+        assert sink.count() == 5
+
+    def test_drop_probability_rises_with_average_occupancy(self):
+        red = RedBuffer(
+            capacity_bits=480_000.0,
+            min_threshold_bits=120_000.0,
+            max_threshold_bits=360_000.0,
+            max_drop_probability=0.2,
+        )
+        red._average_bits = 60_000.0
+        assert red.drop_probability() == 0.0
+        red._average_bits = 240_000.0
+        assert red.drop_probability() == pytest.approx(0.1)
+        red._average_bits = 400_000.0
+        assert red.drop_probability() == pytest.approx(1.0)
+
+    def test_forced_drop_at_hard_capacity(self, network):
+        red, link, sink = make_chain(network, capacity=36_000.0, min_th=12_000.0, max_th=36_000.0)
+        for seq in range(10):
+            red.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        assert red.forced_drops > 0
+
+    def test_early_drops_under_sustained_overload(self, network):
+        red, link, sink = make_chain(network, weight=0.05)
+        # Offer far more than the link can carry so the average occupancy
+        # climbs between the thresholds.
+        for burst in range(40):
+            for seq in range(10):
+                network.sim.schedule(
+                    burst * 0.1,
+                    red.receive,
+                    Packet(seq=burst * 10 + seq, flow="f", size_bits=12_000, sent_at=burst * 0.1),
+                )
+        network.run()
+        assert red.early_drops > 0
+        assert sink.count() + red.drop_count == 400
+
+    def test_pass_through_without_draining_link(self, network):
+        red = RedBuffer(
+            capacity_bits=48_000.0, min_threshold_bits=12_000.0, max_threshold_bits=36_000.0
+        )
+        sink = Collector(name="sink")
+        red.connect(sink)
+        network.add(red)
+        network.start()
+        red.receive(Packet(seq=0, flow="f", size_bits=12_000))
+        assert sink.count() == 1
+
+    def test_reset_clears_state(self, network):
+        red, link, sink = make_chain(network)
+        red.receive(Packet(seq=0, flow="f", size_bits=12_000, sent_at=0.0))
+        red.reset()
+        assert red.occupancy_bits == 0.0
+        assert red.average_occupancy_bits == 0.0
+        assert red.drop_count == 0
+
+
+class TestRedVersusTailDropWithTcp:
+    def test_red_signals_congestion_before_the_buffer_fills(self):
+        """AQM drops early to signal congestion; tail drop only drops when full."""
+
+        def run(buffer_element):
+            network = Network(seed=6)
+            link = Throughput(rate_bps=100_000.0, name="link")
+            receiver = Receiver(name="rx", accept_flows={"tcp"})
+            buffer_element.connect(link)
+            link.connect(receiver)
+            sender = NewRenoSender(receiver, flow="tcp", name="tcp", initial_ssthresh=1e9)
+            sender.connect(buffer_element)
+            network.add(sender)
+            network.run(until=60.0)
+            return sender
+
+        from repro.elements import Buffer
+
+        tail = Buffer(capacity_bits=1_200_000.0, name="tail")
+        run(tail)
+        red = RedBuffer(
+            capacity_bits=1_200_000.0,
+            min_threshold_bits=120_000.0,
+            max_threshold_bits=600_000.0,
+            max_drop_probability=0.2,
+            weight=0.01,
+            name="red",
+        )
+        run(red)
+
+        # The tail-drop buffer only ever drops by overflowing completely.
+        assert tail.drop_count > 0
+        assert tail.peak_occupancy_bits > 0.9 * tail.capacity_bits
+        # RED signals the sender with early drops well before its hard limit.
+        assert red.early_drops > 0
+        assert red.forced_drops == 0

@@ -1,0 +1,187 @@
+"""Tests for the metrics package."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.elements.receiver import Delivery
+from repro.metrics import (
+    ExperimentRow,
+    TimeSeries,
+    flow_stats_from_receiver,
+    format_table,
+    rtt_series,
+    sequence_series,
+    windowed_rate,
+)
+from repro.metrics.flowstats import flow_stats
+
+
+def make_delivery(seq, flow="f", sent=0.0, received=1.0, size=12_000.0):
+    return Delivery(seq=seq, flow=flow, size_bits=size, sent_at=sent, received_at=received)
+
+
+class TestTimeSeries:
+    def test_from_pairs_orders_by_time(self):
+        series = TimeSeries.from_pairs([(2.0, 20.0), (1.0, 10.0)])
+        assert list(series) == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_between_selects_half_open_interval(self):
+        series = TimeSeries.from_pairs([(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)])
+        selected = series.between(1.0, 2.0)
+        assert list(selected) == [(1.0, 2.0)]
+
+    def test_value_at_steps(self):
+        series = TimeSeries.from_pairs([(1.0, 10.0), (3.0, 30.0)])
+        assert series.value_at(0.5, default=-1.0) == -1.0
+        assert series.value_at(1.5) == 10.0
+        assert series.value_at(3.0) == 30.0
+
+    def test_statistics(self):
+        series = TimeSeries.from_pairs([(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)])
+        assert series.max() == 3.0
+        assert series.min() == 1.0
+        assert series.mean() == pytest.approx(2.0)
+        assert series.percentile(0.5) == 2.0
+
+    def test_empty_series_statistics_raise(self):
+        series = TimeSeries.from_pairs([])
+        assert series.is_empty()
+        with pytest.raises(ValueError):
+            series.mean()
+        with pytest.raises(ValueError):
+            series.percentile(0.5)
+
+    def test_percentile_validation(self):
+        series = TimeSeries.from_pairs([(0.0, 1.0)])
+        with pytest.raises(ValueError):
+            series.percentile(1.5)
+
+    def test_windowed_mean(self):
+        series = TimeSeries.from_pairs([(0.1, 1.0), (0.9, 3.0), (1.5, 10.0)])
+        windowed = series.windowed(1.0)
+        assert list(windowed) == [(0.0, 2.0), (1.0, 10.0)]
+
+    def test_windowed_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries.from_pairs([(0.0, 1.0)]).windowed(0.0)
+
+    def test_differences(self):
+        series = TimeSeries.from_pairs([(0.0, 1.0), (1.0, 4.0), (2.0, 6.0)])
+        assert list(series.differences()) == [(1.0, 3.0), (2.0, 2.0)]
+
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e4, allow_nan=False),
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_property_times_sorted_and_length_preserved(self, pairs):
+        series = TimeSeries.from_pairs(pairs)
+        assert len(series) == len(pairs)
+        assert list(series.times) == sorted(series.times)
+
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        window=st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_property_windowed_mean_within_bounds(self, pairs, window):
+        series = TimeSeries.from_pairs(pairs)
+        windowed = series.windowed(window)
+        assert not windowed.is_empty()
+        assert windowed.min() >= series.min() - 1e-9
+        assert windowed.max() <= series.max() + 1e-9
+
+
+class TestFigureSeries:
+    def test_sequence_series_counts_cumulatively(self):
+        deliveries = [make_delivery(seq=i, received=float(i)) for i in range(5)]
+        series = sequence_series(deliveries)
+        assert list(series)[-1] == (4.0, 5)
+
+    def test_rtt_series_passthrough(self):
+        series = rtt_series([(0.0, 0.1), (1.0, 0.5)])
+        assert series.max() == 0.5
+
+    def test_windowed_rate(self):
+        deliveries = [make_delivery(seq=i, received=i * 0.5, size=6_000) for i in range(8)]
+        series = windowed_rate(deliveries, window=1.0, end_time=4.0)
+        assert len(series) == 4
+        assert series.values[0] == pytest.approx(12_000)
+
+    def test_windowed_rate_validation(self):
+        with pytest.raises(ValueError):
+            windowed_rate([], window=0.0, end_time=1.0)
+
+
+class TestFlowStats:
+    def test_basic_aggregation(self):
+        deliveries = [
+            make_delivery(seq=0, flow="a", sent=0.0, received=1.0),
+            make_delivery(seq=1, flow="a", sent=1.0, received=3.0),
+            make_delivery(seq=2, flow="b", sent=0.0, received=9.0),
+        ]
+        stats = flow_stats(deliveries, flow="a", start=0.0, end=10.0)
+        assert stats.packets_delivered == 2
+        assert stats.bits_delivered == pytest.approx(24_000)
+        assert stats.throughput_bps == pytest.approx(2_400)
+        assert stats.mean_delay == pytest.approx(1.5)
+        assert stats.max_delay == pytest.approx(2.0)
+        assert stats.min_delay == pytest.approx(1.0)
+        assert stats.packets_per_second == pytest.approx(0.2)
+
+    def test_empty_window(self):
+        stats = flow_stats([], flow="a", start=0.0, end=1.0)
+        assert stats.packets_delivered == 0
+        assert stats.mean_delay is None
+        assert stats.throughput_bps == 0.0
+
+    def test_zero_duration(self):
+        stats = flow_stats([make_delivery(seq=0)], flow="f", start=0.0, end=0.0)
+        assert stats.throughput_bps == 0.0
+
+    def test_from_receiver(self, network):
+        from repro.elements import Receiver
+        from repro.sim.packet import Packet
+
+        receiver = Receiver(name="rx")
+        network.add(receiver)
+        network.start()
+        receiver.receive(Packet(seq=0, flow="f", size_bits=12_000, sent_at=0.0))
+        stats = flow_stats_from_receiver(receiver, flow="f", start=0.0, end=1.0)
+        assert stats.packets_delivered == 1
+
+
+class TestFormatTable:
+    def test_renders_columns_and_rows(self):
+        rows = [
+            ExperimentRow(label="alpha=1.0", values={"throughput": 3600.0, "drops": 0}),
+            ExperimentRow(label="alpha=5.0", values={"throughput": 1200.0, "drops": 0}),
+        ]
+        text = format_table(rows, title="Figure 3")
+        assert "Figure 3" in text
+        assert "alpha=1.0" in text
+        assert "throughput" in text
+        assert "drops" in text
+
+    def test_column_subset_and_missing_values(self):
+        rows = [ExperimentRow(label="row", values={"a": 1})]
+        text = format_table(rows, columns=["a", "b"])
+        assert "a" in text and "b" in text
+
+    def test_experiment_row_get(self):
+        row = ExperimentRow(label="x", values={"k": 3})
+        assert row.get("k") == 3
+        assert row.get("missing", 7) == 7

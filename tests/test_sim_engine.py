@@ -1,0 +1,195 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class TestScheduling:
+    def test_schedule_and_run_single_event(self, sim):
+        fired = []
+        sim.schedule(1.5, fired.append, "a")
+        assert sim.run() == 1
+        assert fired == ["a"]
+        assert sim.now == pytest.approx(1.5)
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(2.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(3.0, order.append, 3)
+        sim.schedule(1.0, order.append, 1)
+        sim.schedule(2.0, order.append, 2)
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_simultaneous_events_fire_in_insertion_order(self, sim):
+        order = []
+        for index in range(5):
+            sim.schedule(1.0, order.append, index)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties_before_insertion_order(self, sim):
+        order = []
+        sim.schedule(1.0, order.append, "late", priority=5)
+        sim.schedule(1.0, order.append, "early", priority=-5)
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_scheduling_in_the_past_raises(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_non_finite_time_raises(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(float("inf"), lambda: None)
+
+    def test_kwargs_are_passed_to_callback(self, sim):
+        seen = {}
+        sim.schedule(0.5, lambda **kw: seen.update(kw), value=42)
+        sim.run()
+        assert seen == {"value": 42}
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "no")
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        assert sim.run() == 0
+
+    def test_pending_excludes_cancelled(self, sim):
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        sim.cancel(drop)
+        assert sim.pending == 1
+        assert keep.alive
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 5)
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == pytest.approx(2.0)
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_run_until_advances_clock_even_with_no_events(self, sim):
+        sim.run(until=10.0)
+        assert sim.now == pytest.approx(10.0)
+
+    def test_max_events_limits_work(self, sim):
+        fired = []
+        for index in range(10):
+            sim.schedule(float(index + 1), fired.append, index)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_on_empty_queue(self, sim):
+        assert sim.step() is False
+
+    def test_events_processed_counter(self, sim):
+        for index in range(4):
+            sim.schedule(float(index + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+    def test_nested_scheduling_from_callback(self, sim):
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, lambda: fired.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_run_is_not_reentrant(self, sim):
+        def reenter():
+            sim.run()
+
+        sim.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestAdvanceTo:
+    def test_advance_to_moves_clock(self, sim):
+        sim.advance_to(4.0)
+        assert sim.now == pytest.approx(4.0)
+
+    def test_advance_to_backwards_raises(self, sim):
+        sim.advance_to(4.0)
+        with pytest.raises(SchedulingError):
+            sim.advance_to(3.0)
+
+    def test_advance_to_refuses_to_skip_events(self, sim):
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.advance_to(2.0)
+
+
+class TestEventObject:
+    def test_sort_key_ordering(self):
+        early = Event(1.0, 0, 0, lambda: None)
+        late = Event(2.0, 0, 1, lambda: None)
+        assert early < late
+
+    def test_fire_invokes_callback_with_args(self):
+        calls = []
+        event = Event(0.0, 0, 0, lambda a, b: calls.append((a, b)), args=(1, 2))
+        event.fire()
+        assert calls == [(1, 2)]
+
+
+class TestPropertyBased:
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_events_always_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fire_times = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fire_times.append(sim.now))
+        sim.run()
+        assert fire_times == sorted(fire_times)
+        assert len(fire_times) == len(delays)
+
+    @given(
+        delays=st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=30),
+        until=st.floats(min_value=0.0, max_value=1e3),
+    )
+    def test_run_until_never_fires_later_events(self, delays, until):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run(until=until)
+        assert all(delay <= until for delay in fired)
