@@ -9,37 +9,38 @@ fills the buffer.
 
 from __future__ import annotations
 
-from repro.experiments import run_figure1
+import pytest
+
 from repro.metrics.summary import format_table
-from repro.viz import ascii_plot
+from repro.runner import ScenarioSpec, SerialRunner
 
 #: Shortened duration used by the benchmark (the paper's trace covers ~250 s).
 BENCH_DURATION = 150.0
 
+#: The benchmark as a scenario point executed via the registry, so the exact
+#: same run is reproducible from the runner CLI:
+#: ``python -m repro.runner run figure1 --set duration=150 --seed 7``.
+BENCH_SPEC = ScenarioSpec(scenario="figure1", params={"duration": BENCH_DURATION}, seed=7)
 
+
+@pytest.mark.bench
 def test_figure1_rtt_inflation(benchmark, table_printer):
-    result = benchmark.pedantic(
-        run_figure1,
-        kwargs={"duration": BENCH_DURATION},
+    store = benchmark.pedantic(
+        SerialRunner().run,
+        args=([BENCH_SPEC],),
         iterations=1,
         rounds=1,
     )
 
-    table_printer(format_table(result.rows(window=25.0), title="Figure 1 — RTT during a TCP download (synthetic LTE)"))
     table_printer(
-        ascii_plot(
-            {"rtt (s)": result.rtt},
-            title="Figure 1 — round-trip time vs. time (log scale)",
-            y_label="RTT",
-            logy=True,
-            height=14,
-        )
+        format_table(store.rows(), title="Figure 1 — RTT during a TCP download (synthetic LTE)")
     )
 
     # Shape checks corresponding to the paper's observations.
-    assert result.rtt.min() < 5.0 * result.base_rtt, "RTT should start near the base RTT"
-    assert result.max_rtt > 1.0, "the bloated buffer should push RTT above one second"
-    assert result.inflation_factor > 10.0, "RTT should inflate by over an order of magnitude"
-    assert result.link_layer_retransmissions > 0, "loss must be hidden by the link layer"
+    [metrics] = (result.metrics for result in store)
+    assert metrics["min_rtt_s"] < 5.0 * metrics["base_rtt_s"], "RTT should start near the base RTT"
+    assert metrics["max_rtt_s"] > 1.0, "the bloated buffer should push RTT above one second"
+    assert metrics["inflation_factor"] > 10.0, "RTT should inflate by over an order of magnitude"
+    assert metrics["link_layer_retransmissions"] > 0, "loss must be hidden by the link layer"
     # The sender keeps the link busy (bufferbloat, not starvation).
-    assert result.throughput_bps > 100_000.0
+    assert metrics["throughput_bps"] > 100_000.0

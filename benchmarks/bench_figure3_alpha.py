@@ -8,8 +8,11 @@ four qualitative claims the paper makes about the figure.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments import run_figure3
 from repro.metrics.summary import format_table
+from repro.runner import SerialRunner
 from repro.viz import ascii_plot
 
 BENCH_ALPHAS = (0.9, 1.0, 2.5, 5.0)
@@ -17,6 +20,7 @@ BENCH_SWITCH_INTERVAL = 40.0
 BENCH_DURATION = 120.0
 
 
+@pytest.mark.bench
 def test_figure3_alpha_sweep(benchmark, table_printer):
     result = benchmark.pedantic(
         run_figure3,
@@ -24,6 +28,9 @@ def test_figure3_alpha_sweep(benchmark, table_printer):
             "alphas": BENCH_ALPHAS,
             "duration": BENCH_DURATION,
             "switch_interval": BENCH_SWITCH_INTERVAL,
+            # The sweep executes through the scenario-runner backend; swap in
+            # a ParallelRunner to fan the α points out over worker processes.
+            "runner": SerialRunner(),
         },
         iterations=1,
         rounds=1,

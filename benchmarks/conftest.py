@@ -14,6 +14,17 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items) -> None:
+    """Mark everything under benchmarks/ with the ``bench`` marker.
+
+    Keeps the tier-1 test run fast: ``pytest -m "not bench"`` (or just the
+    default ``tests/`` collection) never picks these up, while
+    ``pytest benchmarks/...`` runs them explicitly.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def print_result_table(text: str) -> None:
     """Print a table so ``pytest -s`` / benchmark output shows the reproduced rows."""
     print()

@@ -11,13 +11,20 @@ Run with:  python examples/bufferbloat_cellular.py
 
 from __future__ import annotations
 
+import argparse
+from typing import Sequence
+
 from repro.experiments import run_figure1
 from repro.metrics import format_table
 from repro.viz import ascii_plot
 
 
-def main() -> None:
-    result = run_figure1(duration=200.0)
+def main(argv: Sequence[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=200.0, help="simulated seconds (default 200)")
+    args = parser.parse_args(argv)
+
+    result = run_figure1(duration=args.duration)
 
     print(format_table(result.rows(window=25.0), title="Figure 1 — RTT during a TCP download (synthetic LTE)"))
     print()

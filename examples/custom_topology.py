@@ -14,6 +14,9 @@ Run with:  python examples/custom_topology.py
 
 from __future__ import annotations
 
+import argparse
+from typing import Sequence
+
 from repro.baselines import NewRenoSender
 from repro.baselines.rate_sender import FixedRateSender
 from repro.elements import (
@@ -35,7 +38,12 @@ from repro.sim.element import Network
 from repro.topology import validate_network
 
 
-def main() -> None:
+def main(argv: Sequence[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=120.0, help="simulated seconds (default 120)")
+    args = parser.parse_args(argv)
+    duration = args.duration
+
     network = Network(seed=11)
 
     # A non-isochronous cross-traffic source: PINGER followed by JITTER (§3.1).
@@ -77,14 +85,14 @@ def main() -> None:
     if problems:
         raise SystemExit(f"mis-wired topology: {problems}")
 
-    network.run(until=120.0)
+    network.run(until=duration)
 
     rows = [
         ExperimentRow(
             label="tcp",
             values={
                 "delivered": tcp_receiver.count,
-                "goodput (bps)": tcp_receiver.throughput_bps(0.0, 120.0, flow="tcp"),
+                "goodput (bps)": tcp_receiver.throughput_bps(0.0, duration, flow="tcp"),
                 "mean delay (s)": tcp_receiver.mean_delay() or 0.0,
                 "timeouts": tcp_sender.timeouts,
             },
@@ -93,7 +101,7 @@ def main() -> None:
             label="probe",
             values={
                 "delivered": probe_sink.count("probe"),
-                "goodput (bps)": probe_sink.throughput_bps(0.0, 120.0, flow="probe"),
+                "goodput (bps)": probe_sink.throughput_bps(0.0, duration, flow="probe"),
                 "mean delay (s)": probe_sink.flows["probe"].mean_delay if "probe" in probe_sink.flows else 0.0,
                 "sent": probe.packets_sent,
             },
@@ -102,13 +110,13 @@ def main() -> None:
             label="cross",
             values={
                 "delivered": other_sink.count("cross"),
-                "goodput (bps)": other_sink.throughput_bps(0.0, 120.0, flow="cross"),
+                "goodput (bps)": other_sink.throughput_bps(0.0, duration, flow="cross"),
                 "mean delay (s)": other_sink.flows["cross"].mean_delay if "cross" in other_sink.flows else 0.0,
                 "offered (bps)": cross_source.rate_bps,
             },
         ),
     ]
-    print(format_table(rows, title="Custom topology: per-flow outcomes over 120 s"))
+    print(format_table(rows, title=f"Custom topology: per-flow outcomes over {duration:.0f} s"))
     print()
     print(f"intermittent segment switched {len(flaky_segment.switch_times)} times")
     print(f"bottleneck buffer dropped {bottleneck_buffer.drop_count} packets")

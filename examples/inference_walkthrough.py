@@ -13,6 +13,9 @@ Run with:  python examples/inference_walkthrough.py
 
 from __future__ import annotations
 
+import argparse
+from typing import Sequence
+
 from repro.core import AlphaWeightedUtility, ExpectedUtilityPlanner, ISender
 from repro.inference import BeliefState, GaussianKernel, figure3_prior
 from repro.topology import figure2_network
@@ -33,7 +36,12 @@ def describe(belief: BeliefState, time: float) -> None:
     )
 
 
-def main() -> None:
+def main(argv: Sequence[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=180.0, help="simulated seconds (default 180)")
+    parser.add_argument("--slice", type=float, default=10.0, help="report interval in simulated seconds")
+    args = parser.parse_args(argv)
+
     network = figure2_network(switch_interval=60.0, seed=1)
     prior = figure3_prior(
         link_rate_points=4, cross_fraction_points=4, loss_points=3, buffer_points=2, fill_points=1
@@ -47,11 +55,13 @@ def main() -> None:
     print("True configuration: link=12000 bps, cross=0.7*link (on/off every 60 s), loss=0.2")
     print(f"Prior support: {prior.size} configurations\n")
 
-    for slice_end in range(10, 181, 10):
-        network.network.run(until=float(slice_end))
-        describe(belief, float(slice_end))
+    slice_end = 0.0
+    while slice_end < args.duration:
+        slice_end = min(slice_end + args.slice, args.duration)
+        network.network.run(until=slice_end)
+        describe(belief, slice_end)
 
-    print("\nMAP configuration after 180 s:")
+    print(f"\nMAP configuration after {args.duration:.0f} s:")
     map_hypothesis = belief.map_estimate()
     for key in ("link_rate_bps", "cross_fraction", "loss_rate", "buffer_capacity_bits"):
         if key in map_hypothesis.params:

@@ -11,6 +11,9 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import argparse
+from typing import Sequence
+
 from repro.core import AlphaWeightedUtility, ExpectedUtilityPlanner, ISender
 from repro.inference import BeliefState, GaussianKernel, single_link_prior
 from repro.metrics import format_table
@@ -19,7 +22,12 @@ from repro.topology import single_link_network
 from repro.viz import ascii_plot
 
 
-def main() -> None:
+def main(argv: Sequence[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=120.0, help="simulated seconds (default 120)")
+    args = parser.parse_args(argv)
+    duration = args.duration
+
     # 1. Build the "real" network: buffer -> 12 kbit/s link -> receiver.
     net = single_link_network(link_rate_bps=12_000.0, buffer_capacity_bits=96_000.0)
 
@@ -33,11 +41,11 @@ def main() -> None:
     utility = AlphaWeightedUtility(alpha=0.0, discount_timescale=20.0)
     planner = ExpectedUtilityPlanner(utility, top_k=8)
 
-    # 4. Wire the ISender into the network and run for two simulated minutes.
+    # 4. Wire the ISender into the network and run it (two minutes by default).
     sender = ISender(belief, planner, net.sender_receiver)
     sender.connect(net.entry)
     net.network.add(sender)
-    net.network.run(until=120.0)
+    net.network.run(until=duration)
 
     # 5. Report what happened.
     rows = [
@@ -47,7 +55,7 @@ def main() -> None:
                 "packets sent": sender.packets_sent,
                 "packets acked": sender.packets_acked,
                 "inferred link rate (bps)": belief.posterior_mean("link_rate_bps"),
-                "goodput 60-120s (bps)": net.sender_receiver.throughput_bps(60.0, 120.0),
+                "late goodput (bps)": net.sender_receiver.throughput_bps(duration / 2.0, duration),
                 "buffer drops": net.buffer.drop_count,
             },
         )

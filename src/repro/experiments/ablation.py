@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.core import AlphaWeightedUtility, ExpectedUtilityPlanner, ISender
 from repro.inference import BeliefState, ExactMatchKernel, GaussianKernel, figure3_prior
 from repro.metrics.summary import ExperimentRow
+from repro.runner.backends import RunnerBackend, SerialRunner
 from repro.topology.presets import figure2_network
 from repro.units import DEFAULT_PACKET_BITS
 
@@ -81,6 +82,78 @@ DEFAULT_CONFIGS = (
 )
 
 
+def run_ablation_config(
+    config: AblationConfig,
+    duration: float = 60.0,
+    switch_interval: float = 30.0,
+    link_rate_bps: float = 12_000.0,
+    loss_rate: float = 0.2,
+    alpha: float = 1.0,
+    seed: int = 2,
+    packet_bits: float = DEFAULT_PACKET_BITS,
+) -> AblationOutcome:
+    """Run the shortened Figure-3 scenario under one approximation config.
+
+    Module-level and picklable so the ablation sweep can run through any
+    scenario-runner backend.
+    """
+    network = figure2_network(
+        link_rate_bps=link_rate_bps,
+        loss_rate=loss_rate,
+        switch_interval=switch_interval,
+        packet_bits=packet_bits,
+        seed=seed,
+    )
+    prior = figure3_prior(
+        link_rate_points=4,
+        cross_fraction_points=4,
+        loss_points=3,
+        buffer_points=2,
+        fill_points=1,
+        packet_bits=packet_bits,
+    )
+    if config.kernel == "exact":
+        kernel = ExactMatchKernel(tolerance=config.kernel_scale)
+    else:
+        kernel = GaussianKernel(sigma=config.kernel_scale)
+    belief = BeliefState.from_prior(prior, kernel=kernel, max_hypotheses=config.max_hypotheses)
+    planner = ExpectedUtilityPlanner(
+        AlphaWeightedUtility(alpha=alpha, discount_timescale=20.0),
+        packet_bits=packet_bits,
+        top_k=config.top_k,
+    )
+    sender = ISender(
+        belief,
+        planner,
+        network.sender_receiver,
+        packet_bits=packet_bits,
+        use_policy_cache=config.use_policy_cache,
+    )
+    sender.connect(network.entry)
+    network.network.add(sender)
+
+    started = time.perf_counter()
+    network.network.run(until=duration)
+    elapsed = time.perf_counter() - started
+
+    marginal = belief.posterior_marginal("link_rate_bps")
+    true_mass = sum(
+        probability
+        for value, probability in marginal.items()
+        if abs(value - link_rate_bps) < 1e-6
+    )
+    return AblationOutcome(
+        config=config,
+        wall_time=elapsed,
+        packets_sent=sender.packets_sent,
+        goodput_bps=network.sender_receiver.throughput_bps(0.0, duration),
+        rollouts=planner.rollouts_performed,
+        final_hypotheses=len(belief),
+        degenerate_updates=belief.degenerate_updates,
+        posterior_true_link_rate=true_mass,
+    )
+
+
 def run_inference_ablation(
     configs: tuple[AblationConfig, ...] = DEFAULT_CONFIGS,
     duration: float = 60.0,
@@ -90,65 +163,29 @@ def run_inference_ablation(
     alpha: float = 1.0,
     seed: int = 2,
     packet_bits: float = DEFAULT_PACKET_BITS,
+    runner: RunnerBackend | None = None,
 ) -> AblationResult:
-    """Run the shortened Figure-3 scenario once per ablation configuration."""
+    """Run the shortened Figure-3 scenario once per ablation configuration.
+
+    ``runner`` selects the sweep's execution backend (serial by default;
+    pass a :class:`~repro.runner.backends.ParallelRunner` to fan the
+    configurations out over workers).
+    """
+    if runner is None:
+        runner = SerialRunner()
+    tasks = [
+        {
+            "config": config,
+            "duration": duration,
+            "switch_interval": switch_interval,
+            "link_rate_bps": link_rate_bps,
+            "loss_rate": loss_rate,
+            "alpha": alpha,
+            "seed": seed,
+            "packet_bits": packet_bits,
+        }
+        for config in configs
+    ]
     result = AblationResult(duration=duration)
-    for config in configs:
-        network = figure2_network(
-            link_rate_bps=link_rate_bps,
-            loss_rate=loss_rate,
-            switch_interval=switch_interval,
-            packet_bits=packet_bits,
-            seed=seed,
-        )
-        prior = figure3_prior(
-            link_rate_points=4,
-            cross_fraction_points=4,
-            loss_points=3,
-            buffer_points=2,
-            fill_points=1,
-            packet_bits=packet_bits,
-        )
-        if config.kernel == "exact":
-            kernel = ExactMatchKernel(tolerance=config.kernel_scale)
-        else:
-            kernel = GaussianKernel(sigma=config.kernel_scale)
-        belief = BeliefState.from_prior(prior, kernel=kernel, max_hypotheses=config.max_hypotheses)
-        planner = ExpectedUtilityPlanner(
-            AlphaWeightedUtility(alpha=alpha, discount_timescale=20.0),
-            packet_bits=packet_bits,
-            top_k=config.top_k,
-        )
-        sender = ISender(
-            belief,
-            planner,
-            network.sender_receiver,
-            packet_bits=packet_bits,
-            use_policy_cache=config.use_policy_cache,
-        )
-        sender.connect(network.entry)
-        network.network.add(sender)
-
-        started = time.perf_counter()
-        network.network.run(until=duration)
-        elapsed = time.perf_counter() - started
-
-        marginal = belief.posterior_marginal("link_rate_bps")
-        true_mass = sum(
-            probability
-            for value, probability in marginal.items()
-            if abs(value - link_rate_bps) < 1e-6
-        )
-        result.outcomes.append(
-            AblationOutcome(
-                config=config,
-                wall_time=elapsed,
-                packets_sent=sender.packets_sent,
-                goodput_bps=network.sender_receiver.throughput_bps(0.0, duration),
-                rollouts=planner.rollouts_performed,
-                final_hypotheses=len(belief),
-                degenerate_updates=belief.degenerate_updates,
-                posterior_true_link_rate=true_mass,
-            )
-        )
+    result.outcomes.extend(runner.map(run_ablation_config, tasks))
     return result

@@ -26,6 +26,7 @@ from repro.experiments.common import SenderSettings, attach_isender
 from repro.inference.prior import figure3_prior
 from repro.metrics.summary import ExperimentRow
 from repro.metrics.timeseries import TimeSeries
+from repro.runner.backends import RunnerBackend, SerialRunner
 from repro.topology.presets import figure2_network
 from repro.units import DEFAULT_PACKET_BITS
 
@@ -125,6 +126,84 @@ class Figure3Result:
         return claims
 
 
+def run_figure3_point(
+    alpha: float,
+    duration: float = 300.0,
+    switch_interval: float = 100.0,
+    link_rate_bps: float = 12_000.0,
+    cross_fraction: float = 0.7,
+    loss_rate: float = 0.2,
+    buffer_capacity_bits: float = 96_000.0,
+    packet_bits: float = DEFAULT_PACKET_BITS,
+    seed: int = 1,
+    settings: SenderSettings | None = None,
+    prior_points: tuple[int, int, int, int, int] = (4, 4, 3, 4, 1),
+) -> Figure3AlphaResult:
+    """Run one α point of the Figure-3 experiment.
+
+    This is the unit the scenario runner parallelizes: a module-level
+    function of picklable arguments whose result depends only on them, so
+    a sweep computes the same numbers regardless of backend.
+    """
+    base = settings if settings is not None else SenderSettings()
+    phase = switch_interval
+    network = figure2_network(
+        link_rate_bps=link_rate_bps,
+        cross_fraction=cross_fraction,
+        loss_rate=loss_rate,
+        buffer_capacity_bits=buffer_capacity_bits,
+        packet_bits=packet_bits,
+        cross_gate="squarewave",
+        switch_interval=switch_interval,
+        seed=seed,
+    )
+    prior = figure3_prior(
+        link_rate_points=prior_points[0],
+        cross_fraction_points=prior_points[1],
+        loss_points=prior_points[2],
+        buffer_points=prior_points[3],
+        fill_points=prior_points[4],
+        packet_bits=packet_bits,
+    )
+    run_settings = SenderSettings(
+        alpha=alpha,
+        discount_timescale=base.discount_timescale,
+        latency_penalty=base.latency_penalty,
+        kernel_sigma=base.kernel_sigma,
+        max_hypotheses=base.max_hypotheses,
+        top_k=base.top_k,
+        packet_bits=packet_bits,
+        use_policy_cache=base.use_policy_cache,
+    )
+    sender = attach_isender(network, prior, run_settings)
+    network.network.run(until=duration)
+
+    receiver = network.sender_receiver
+    margin = min(20.0, phase / 5.0)
+    rate_on1 = receiver.throughput_bps(margin, phase)
+    rate_off = receiver.throughput_bps(phase + margin / 2.0, 2.0 * phase)
+    rate_on2 = receiver.throughput_bps(2.0 * phase + margin / 2.0, min(3.0 * phase, duration))
+    cross_on2 = network.cross_receiver.throughput_bps(
+        2.0 * phase + margin / 2.0, min(3.0 * phase, duration), flow=network.cross_flow
+    )
+    return Figure3AlphaResult(
+        alpha=alpha,
+        sequence_series=TimeSeries.from_pairs(sender.sequence_series()),
+        packets_sent=sender.packets_sent,
+        packets_acked=sender.packets_acked,
+        rate_on1_bps=rate_on1,
+        rate_off_bps=rate_off,
+        rate_on2_bps=rate_on2,
+        cross_rate_on2_bps=cross_on2,
+        buffer_drops=network.buffer.drop_count,
+        cross_drops=sum(
+            1 for packet in network.buffer.dropped_packets if packet.flow == network.cross_flow
+        ),
+        final_hypotheses=len(sender.belief),
+        degenerate_updates=sender.belief.degenerate_updates,
+    )
+
+
 def run_figure3(
     alphas: Sequence[float] = (0.9, 1.0, 2.5, 5.0),
     duration: float = 300.0,
@@ -137,8 +216,9 @@ def run_figure3(
     seed: int = 1,
     settings: SenderSettings | None = None,
     prior_points: tuple[int, int, int, int, int] = (4, 4, 3, 4, 1),
+    runner: "RunnerBackend | None" = None,
 ) -> Figure3Result:
-    """Run the Figure-3 experiment.
+    """Run the Figure-3 experiment: :func:`run_figure3_point` once per α.
 
     Parameters
     ----------
@@ -154,71 +234,36 @@ def run_figure3(
     settings:
         Sender calibration; defaults to :class:`SenderSettings` with the
         given α substituted per run.
+    runner:
+        Execution backend for the sweep — any object with
+        ``map(fn, kwargs_list)`` such as
+        :class:`repro.runner.backends.SerialRunner` (the default) or
+        :class:`repro.runner.backends.ParallelRunner` to fan the α points
+        out over worker processes.
     """
-    base = settings if settings is not None else SenderSettings()
+    if runner is None:
+        runner = SerialRunner()
+    tasks = [
+        {
+            "alpha": alpha,
+            "duration": duration,
+            "switch_interval": switch_interval,
+            "link_rate_bps": link_rate_bps,
+            "cross_fraction": cross_fraction,
+            "loss_rate": loss_rate,
+            "buffer_capacity_bits": buffer_capacity_bits,
+            "packet_bits": packet_bits,
+            "seed": seed,
+            "settings": settings,
+            "prior_points": prior_points,
+        }
+        for alpha in alphas
+    ]
     result = Figure3Result(
         duration=duration,
         switch_interval=switch_interval,
         link_rate_bps=link_rate_bps,
         loss_rate=loss_rate,
     )
-    phase = switch_interval
-    for alpha in alphas:
-        network = figure2_network(
-            link_rate_bps=link_rate_bps,
-            cross_fraction=cross_fraction,
-            loss_rate=loss_rate,
-            buffer_capacity_bits=buffer_capacity_bits,
-            packet_bits=packet_bits,
-            cross_gate="squarewave",
-            switch_interval=switch_interval,
-            seed=seed,
-        )
-        prior = figure3_prior(
-            link_rate_points=prior_points[0],
-            cross_fraction_points=prior_points[1],
-            loss_points=prior_points[2],
-            buffer_points=prior_points[3],
-            fill_points=prior_points[4],
-            packet_bits=packet_bits,
-        )
-        run_settings = SenderSettings(
-            alpha=alpha,
-            discount_timescale=base.discount_timescale,
-            latency_penalty=base.latency_penalty,
-            kernel_sigma=base.kernel_sigma,
-            max_hypotheses=base.max_hypotheses,
-            top_k=base.top_k,
-            packet_bits=packet_bits,
-            use_policy_cache=base.use_policy_cache,
-        )
-        sender = attach_isender(network, prior, run_settings)
-        network.network.run(until=duration)
-
-        receiver = network.sender_receiver
-        margin = min(20.0, phase / 5.0)
-        rate_on1 = receiver.throughput_bps(margin, phase)
-        rate_off = receiver.throughput_bps(phase + margin / 2.0, 2.0 * phase)
-        rate_on2 = receiver.throughput_bps(2.0 * phase + margin / 2.0, min(3.0 * phase, duration))
-        cross_on2 = network.cross_receiver.throughput_bps(
-            2.0 * phase + margin / 2.0, min(3.0 * phase, duration), flow=network.cross_flow
-        )
-        result.per_alpha.append(
-            Figure3AlphaResult(
-                alpha=alpha,
-                sequence_series=TimeSeries.from_pairs(sender.sequence_series()),
-                packets_sent=sender.packets_sent,
-                packets_acked=sender.packets_acked,
-                rate_on1_bps=rate_on1,
-                rate_off_bps=rate_off,
-                rate_on2_bps=rate_on2,
-                cross_rate_on2_bps=cross_on2,
-                buffer_drops=network.buffer.drop_count,
-                cross_drops=sum(
-                    1 for packet in network.buffer.dropped_packets if packet.flow == network.cross_flow
-                ),
-                final_hypotheses=len(sender.belief),
-                degenerate_updates=sender.belief.degenerate_updates,
-            )
-        )
+    result.per_alpha.extend(runner.map(run_figure3_point, tasks))
     return result

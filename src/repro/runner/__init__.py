@@ -1,0 +1,39 @@
+"""Parallel scenario-runner subsystem.
+
+The runner turns the repo's embarrassingly parallel sweeps (alpha sweeps,
+seed fans, loss × delay × buffer grids) into explicit, schedulable work:
+
+* :mod:`repro.runner.spec` — :class:`ScenarioSpec` points and :func:`grid`
+  expansion;
+* :mod:`repro.runner.registry` — named scenario functions resolvable by
+  worker processes;
+* :mod:`repro.runner.backends` — :class:`SerialRunner` (default) and
+  :class:`ParallelRunner` (multiprocessing fan-out), both deterministic;
+* :mod:`repro.runner.results` — :class:`ResultStore`, the canonical
+  JSON/CSV artifact runs are compared by;
+* ``python -m repro.runner`` — the CLI entry point.
+
+Built-in scenarios live in :mod:`repro.runner.scenarios` and are loaded on
+first name resolution (keeping imports acyclic with ``repro.experiments``).
+"""
+
+from repro.runner.backends import ParallelRunner, RunnerBackend, SerialRunner, make_runner, run_specs
+from repro.runner.registry import DEFAULT_REGISTRY, ScenarioEntry, ScenarioRegistry, scenario
+from repro.runner.results import PointResult, ResultStore
+from repro.runner.spec import ScenarioSpec, grid
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "ParallelRunner",
+    "PointResult",
+    "ResultStore",
+    "RunnerBackend",
+    "ScenarioEntry",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "SerialRunner",
+    "grid",
+    "make_runner",
+    "run_specs",
+    "scenario",
+]

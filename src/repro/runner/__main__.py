@@ -1,0 +1,5 @@
+"""``python -m repro.runner`` — scenario-runner CLI."""
+
+from repro.runner.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,151 @@
+"""Command-line entry point for the scenario runner.
+
+::
+
+    python -m repro.runner list
+    python -m repro.runner run figure3_alpha --sweep alpha=0.9,1,2.5,5 \
+        --backend parallel --workers 4 --json sweep.json
+
+``run`` expands ``--sweep`` axes into the cross product of points (times
+``--seeds`` trials), executes them on the chosen backend, prints the metric
+table, and optionally writes the canonical JSON / CSV artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+from repro.metrics.summary import format_table
+from repro.runner.backends import run_specs
+from repro.runner.registry import DEFAULT_REGISTRY
+from repro.runner.spec import grid
+
+
+def _parse_value(text: str) -> Any:
+    """Parse a CLI parameter value: int, float, bool, or string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for kind in (int, float):
+        try:
+            return kind(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_assignment(text: str) -> tuple[str, str]:
+    if "=" not in text:
+        raise ConfigurationError(f"expected key=value, got {text!r}")
+    key, _, value = text.partition("=")
+    return key.strip(), value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Run registered simulation scenarios, serially or in parallel.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered scenarios")
+
+    run = commands.add_parser("run", help="run one scenario over a parameter grid")
+    run.add_argument("scenario", help="registered scenario name (see 'list')")
+    run.add_argument(
+        "--set",
+        dest="fixed",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="fix one parameter for every point (repeatable)",
+    )
+    run.add_argument(
+        "--sweep",
+        dest="sweeps",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="sweep one parameter axis; repeat for a cross product",
+    )
+    run.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    run.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="number of seed trials per grid point, seeds seed..seed+N-1",
+    )
+    run.add_argument(
+        "--backend",
+        choices=("serial", "parallel"),
+        default="serial",
+        help="execution backend (default serial)",
+    )
+    run.add_argument("--workers", type=int, default=None, help="parallel worker count")
+    run.add_argument("--json", default=None, metavar="PATH", help="write canonical JSON artifact")
+    run.add_argument("--csv", default=None, metavar="PATH", help="write CSV artifact")
+    run.add_argument("--timing", action="store_true", help="include per-point wall time")
+    return parser
+
+
+def _cmd_list() -> int:
+    for entry in DEFAULT_REGISTRY:
+        print(f"{entry.name:24s} {entry.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    base: dict[str, Any] = {}
+    for assignment in args.fixed:
+        key, value = _parse_assignment(assignment)
+        base[key] = _parse_value(value)
+    axes: dict[str, list[Any]] = {}
+    for assignment in args.sweeps:
+        key, values = _parse_assignment(assignment)
+        axes[key] = [_parse_value(value) for value in values.split(",") if value != ""]
+
+    specs = grid(
+        args.scenario,
+        seeds=range(args.seed, args.seed + max(1, args.seeds)),
+        base=base,
+        **axes,
+    )
+    # Fail fast on unknown scenario names or parameter typos, before the
+    # backend starts chewing through the grid.
+    entry = DEFAULT_REGISTRY.get(args.scenario)
+    entry.validate_params({**base, **axes})
+
+    started = time.perf_counter()
+    store = run_specs(specs, backend=args.backend, workers=args.workers)
+    elapsed = time.perf_counter() - started
+
+    title = f"{args.scenario}: {len(store)} points via {args.backend} backend in {elapsed:.2f}s"
+    print(format_table(store.rows(), title=title))
+    if args.timing:
+        print(f"\nper-point wall time total: {store.total_wall_time:.2f}s")
+    if args.json:
+        store.to_json(args.json, include_timing=args.timing)
+        print(f"wrote JSON artifact to {args.json}")
+    if args.csv:
+        store.to_csv(args.csv)
+        print(f"wrote CSV artifact to {args.csv}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        return _cmd_run(args)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

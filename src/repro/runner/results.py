@@ -1,0 +1,144 @@
+"""Result aggregation for scenario runs.
+
+Every executed point becomes a :class:`PointResult`; a :class:`ResultStore`
+collects them (in spec order, regardless of which worker finished first)
+and renders one comparable artifact: canonical JSON whose bytes are a
+function of the specs and seeds alone, plus CSV / table views for humans.
+
+Timing is recorded per point but excluded from the canonical artifact by
+default, so replay-equivalence checks can compare artifacts byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.metrics.summary import ExperimentRow
+from repro.runner.spec import ScenarioSpec
+from repro.viz.csv_out import write_rows_csv
+
+
+@dataclass
+class PointResult:
+    """Outcome of one executed scenario point."""
+
+    spec: ScenarioSpec
+    metrics: dict[str, Any]
+    wall_time: float = 0.0
+
+    def row(self) -> ExperimentRow:
+        """The point as a printable table row."""
+        return ExperimentRow(label=self.spec.label, values=dict(self.metrics))
+
+    def to_obj(self, include_timing: bool = False) -> dict[str, Any]:
+        """JSON-ready representation of the point."""
+        obj: dict[str, Any] = {
+            "scenario": self.spec.scenario,
+            "params": dict(self.spec.params),
+            "seed": self.spec.seed,
+            "metrics": dict(self.metrics),
+        }
+        if include_timing:
+            obj["wall_time"] = self.wall_time
+        return obj
+
+
+@dataclass
+class ResultStore:
+    """An ordered collection of :class:`PointResult` with stable serialization."""
+
+    results: list[PointResult] = field(default_factory=list)
+
+    # ------------------------------------------------------------- collection
+
+    def add(self, result: PointResult) -> None:
+        self.results.append(result)
+
+    def extend(self, results: Iterator[PointResult] | list[PointResult]) -> None:
+        self.results.extend(results)
+
+    def merge(self, other: "ResultStore") -> "ResultStore":
+        """Return a new store holding this store's points then ``other``'s."""
+        return ResultStore(results=[*self.results, *other.results])
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[PointResult]:
+        return iter(self.results)
+
+    # ------------------------------------------------------------------ views
+
+    def rows(self) -> list[ExperimentRow]:
+        """All points as printable table rows, in run order."""
+        return [result.row() for result in self.results]
+
+    def metric(self, name: str) -> list[Any]:
+        """One metric across all points, in run order."""
+        return [result.metrics.get(name) for result in self.results]
+
+    @property
+    def total_wall_time(self) -> float:
+        """Sum of per-point execution times (not wall-clock of the sweep)."""
+        return sum(result.wall_time for result in self.results)
+
+    # -------------------------------------------------------------- artifacts
+
+    def to_obj(self, include_timing: bool = False) -> dict[str, Any]:
+        return {
+            "schema": "repro.runner/1",
+            "results": [result.to_obj(include_timing=include_timing) for result in self.results],
+        }
+
+    def to_json(
+        self,
+        path: str | Path | None = None,
+        include_timing: bool = False,
+    ) -> str:
+        """Canonical JSON artifact (sorted keys, fixed separators).
+
+        With ``include_timing=False`` (the default) the bytes are fully
+        determined by the executed specs and their metrics — the property
+        the replay-equivalence tests assert across backends and worker
+        counts.
+        """
+        text = json.dumps(
+            self.to_obj(include_timing=include_timing),
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        if path is not None:
+            Path(path).write_text(text + "\n", encoding="utf-8")
+        return text
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical JSON artifact — a comparable run identity."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the points as a CSV table (one row per point)."""
+        return write_rows_csv(path, self.rows())
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultStore":
+        """Rehydrate a store from :meth:`to_json` output."""
+        payload = json.loads(text)
+        store = cls()
+        for obj in payload.get("results", []):
+            store.add(
+                PointResult(
+                    spec=ScenarioSpec(
+                        scenario=obj["scenario"],
+                        params=dict(obj.get("params", {})),
+                        seed=int(obj.get("seed", 0)),
+                    ),
+                    metrics=dict(obj.get("metrics", {})),
+                    wall_time=float(obj.get("wall_time", 0.0)),
+                )
+            )
+        return store

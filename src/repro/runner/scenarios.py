@@ -1,0 +1,363 @@
+"""Built-in scenarios: the paper's figure experiments plus grid workloads.
+
+Each scenario is a module-level function registered on the default
+registry.  It receives the point's derived ``seed`` plus its parameters and
+returns a flat dict of numeric summary metrics — the representation the
+result store serializes canonically, so two runs of the same spec can be
+compared byte-for-byte.
+
+This module is imported lazily by the registry (first name resolution), so
+``repro.experiments`` can import the runner backends without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.newreno import NewRenoSender
+from repro.cellular.link import CellularLink
+from repro.cellular.trace import RateProcess
+from repro.elements.buffer import Buffer
+from repro.elements.delay import Delay
+from repro.elements.loss import Loss
+from repro.elements.receiver import Receiver
+from repro.elements.throughput import Throughput
+from repro.experiments.ablation import AblationConfig, run_ablation_config
+from repro.experiments.comparison import run_loss_comparison
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure3 import run_figure3_point
+from repro.experiments.simple import run_convergence_scenario, run_drain_scenario
+from repro.runner.registry import scenario
+from repro.runner.spec import ScenarioSpec, grid
+from repro.sim.element import Network
+from repro.units import DEFAULT_PACKET_BITS
+
+# --------------------------------------------------------------------- figures
+
+
+@scenario()
+def figure1(
+    seed: int = 7,
+    duration: float = 90.0,
+    nominal_rate_bps: float = 4_000_000.0,
+    buffer_seconds: float = 10.0,
+    link_loss_rate: float = 0.05,
+) -> dict[str, float]:
+    """Figure 1: RTT inflation of a TCP download over a bufferbloated cellular link."""
+    result = run_figure1(
+        duration=duration,
+        nominal_rate_bps=nominal_rate_bps,
+        buffer_seconds=buffer_seconds,
+        link_loss_rate=link_loss_rate,
+        seed=seed,
+    )
+    return {
+        "base_rtt_s": result.base_rtt,
+        "min_rtt_s": result.rtt.min(),
+        "median_rtt_s": result.median_rtt,
+        "max_rtt_s": result.max_rtt,
+        "inflation_factor": result.inflation_factor,
+        "throughput_bps": result.throughput_bps,
+        "link_layer_retransmissions": result.link_layer_retransmissions,
+        "buffer_drops": result.buffer_drops,
+        "peak_buffer_bits": result.peak_buffer_bits,
+    }
+
+
+@scenario()
+def figure3_alpha(
+    seed: int = 1,
+    alpha: float = 1.0,
+    duration: float = 90.0,
+    switch_interval: float = 30.0,
+    link_rate_bps: float = 12_000.0,
+    cross_fraction: float = 0.7,
+    loss_rate: float = 0.2,
+    buffer_capacity_bits: float = 96_000.0,
+) -> dict[str, float]:
+    """Figure 3: one α point of the cross-traffic-priority sweep."""
+    result = run_figure3_point(
+        alpha=alpha,
+        duration=duration,
+        switch_interval=switch_interval,
+        link_rate_bps=link_rate_bps,
+        cross_fraction=cross_fraction,
+        loss_rate=loss_rate,
+        buffer_capacity_bits=buffer_capacity_bits,
+        seed=seed,
+    )
+    return {
+        "alpha": alpha,
+        "packets_sent": result.packets_sent,
+        "packets_acked": result.packets_acked,
+        "rate_cross_on_1_bps": result.rate_on1_bps,
+        "rate_cross_off_bps": result.rate_off_bps,
+        "rate_cross_on_2_bps": result.rate_on2_bps,
+        "cross_rate_on_2_bps": result.cross_rate_on2_bps,
+        "buffer_drops": result.buffer_drops,
+        "cross_drops": result.cross_drops,
+        "final_hypotheses": result.final_hypotheses,
+        "degenerate_updates": result.degenerate_updates,
+    }
+
+
+@scenario()
+def convergence(
+    seed: int = 3,
+    duration: float = 60.0,
+    link_rate_bps: float = 12_000.0,
+    buffer_capacity_bits: float = 96_000.0,
+) -> dict[str, float]:
+    """Scenario A of §4: the sender infers an unknown link speed and converges."""
+    result = run_convergence_scenario(
+        true_link_rate_bps=link_rate_bps,
+        duration=duration,
+        buffer_capacity_bits=buffer_capacity_bits,
+        seed=seed,
+    )
+    return {
+        "converged": int(result.converged),
+        "true_link_rate_bps": result.true_link_rate_bps,
+        "inferred_link_rate_bps": result.inferred_link_rate_bps,
+        "early_rate_bps": result.early_rate_bps,
+        "late_rate_bps": result.late_rate_bps,
+        "packets_sent": result.packets_sent,
+        "posterior_true_rate_probability": result.posterior_true_rate_probability,
+    }
+
+
+@scenario()
+def drain(
+    seed: int = 3,
+    duration: float = 40.0,
+    initial_fill_bits: float = 48_000.0,
+    latency_penalty: float = 0.1,
+) -> dict[str, float]:
+    """Scenario B of §4: the latency-penalizing sender waits for the buffer to drain."""
+    result = run_drain_scenario(
+        duration=duration,
+        initial_fill_bits=initial_fill_bits,
+        latency_penalty=latency_penalty,
+        seed=seed,
+    )
+    return {
+        "first_send_plain_s": result.first_send_plain,
+        "first_send_penalized_s": result.first_send_penalized,
+        "late_rate_plain_bps": result.late_rate_plain_bps,
+        "late_rate_penalized_bps": result.late_rate_penalized_bps,
+        "drain_time_s": result.drain_time,
+        "penalized_waits_longer": int(result.penalized_sender_waits_longer),
+    }
+
+
+@scenario()
+def loss_comparison(
+    seed: int = 5,
+    duration: float = 90.0,
+    loss_rate: float = 0.2,
+    link_rate_bps: float = 12_000.0,
+) -> dict[str, float]:
+    """§1/§2 headline: loss-blind TCP vs. the model-based sender on a lossy link."""
+    result = run_loss_comparison(
+        loss_rate=loss_rate,
+        link_rate_bps=link_rate_bps,
+        duration=duration,
+        seed=seed,
+    )
+    return {
+        "tcp_goodput_bps": result.tcp_goodput_bps,
+        "tcp_utilization": result.tcp_utilization,
+        "tcp_timeouts": result.tcp_timeouts,
+        "isender_goodput_bps": result.isender_goodput_bps,
+        "isender_utilization": result.isender_utilization,
+        "isender_advantage": result.isender_advantage,
+    }
+
+
+@scenario()
+def inference_ablation_point(
+    seed: int = 2,
+    duration: float = 30.0,
+    kernel: str = "gaussian",
+    kernel_scale: float = 0.4,
+    max_hypotheses: int = 200,
+    top_k: int = 16,
+    use_policy_cache: bool = False,
+) -> dict[str, float]:
+    """One configuration of the inference-approximation ablation."""
+    label = f"{kernel}/{max_hypotheses}hyp/top{top_k}" + ("/cache" if use_policy_cache else "")
+    outcome = run_ablation_config(
+        AblationConfig(
+            label=label,
+            kernel=kernel,
+            kernel_scale=kernel_scale,
+            max_hypotheses=max_hypotheses,
+            top_k=top_k,
+            use_policy_cache=use_policy_cache,
+        ),
+        duration=duration,
+        seed=seed,
+    )
+    return {
+        "packets_sent": outcome.packets_sent,
+        "goodput_bps": outcome.goodput_bps,
+        "rollouts": outcome.rollouts,
+        "final_hypotheses": outcome.final_hypotheses,
+        "degenerate_updates": outcome.degenerate_updates,
+        "posterior_true_link_rate": outcome.posterior_true_link_rate,
+    }
+
+
+# --------------------------------------------------------------- grid workloads
+
+
+@scenario()
+def single_link_tcp(
+    seed: int = 0,
+    duration: float = 30.0,
+    link_rate_bps: float = 1_000_000.0,
+    loss_rate: float = 0.0,
+    extra_delay_s: float = 0.0,
+    buffer_bits: float = 480_000.0,
+    packet_bits: float = DEFAULT_PACKET_BITS,
+) -> dict[str, float]:
+    """A NewReno bulk transfer over one bottleneck: the loss × delay × buffer grid cell.
+
+    Cheap enough to sweep by the hundreds; the workload the determinism and
+    scaling tests use.
+    """
+    network = Network(seed=seed)
+    buffer = Buffer(capacity_bits=buffer_bits, name="buffer")
+    link = Throughput(rate_bps=link_rate_bps, name="link")
+    receiver = Receiver(name="receiver", accept_flows={"tcp"})
+    sender = NewRenoSender(receiver, flow="tcp", packet_bits=packet_bits, name="tcp")
+
+    sender.connect(buffer)
+    buffer.connect(link)
+    tail = link
+    if extra_delay_s > 0.0:
+        delay = Delay(delay=extra_delay_s, name="path-delay")
+        tail.connect(delay)
+        tail = delay
+    loss = None
+    if loss_rate > 0.0:
+        loss = Loss(rate=loss_rate, name="loss")
+        tail.connect(loss)
+        tail = loss
+    tail.connect(receiver)
+    network.add(sender)
+    network.run(until=duration)
+
+    goodput = receiver.throughput_bps(0.0, duration, flow="tcp")
+    return {
+        "goodput_bps": goodput,
+        "utilization": goodput / link_rate_bps,
+        "packets_sent": sender.packets_sent,
+        "timeouts": sender.timeouts,
+        "buffer_drops": buffer.drop_count,
+        "loss_drops": loss.drop_count if loss is not None else 0,
+        "events_processed": network.sim.events_processed,
+    }
+
+
+@scenario()
+def cellular_trace_tcp(
+    seed: int = 0,
+    duration: float = 60.0,
+    nominal_rate_bps: float = 2_000_000.0,
+    min_rate_bps: float = 200_000.0,
+    max_rate_bps: float = 6_000_000.0,
+    buffer_seconds: float = 4.0,
+    loss_rate: float = 0.05,
+    retransmit_delay: float = 0.05,
+    propagation_delay: float = 0.03,
+    packet_bits: float = DEFAULT_PACKET_BITS,
+) -> dict[str, float]:
+    """A trace-driven cellular run: TCP over a rate-process-modulated, loss-hiding link."""
+    network = Network(seed=seed)
+    rate_process = RateProcess(
+        nominal_bps=nominal_rate_bps,
+        min_bps=min_rate_bps,
+        max_bps=max_rate_bps,
+        duration=duration + 10.0,
+        seed=seed,
+    )
+    link = CellularLink(
+        rate_process=rate_process,
+        buffer_bits=buffer_seconds * nominal_rate_bps,
+        loss_rate=loss_rate,
+        retransmit_delay=retransmit_delay,
+        propagation_delay=propagation_delay,
+        name="cellular-link",
+    )
+    receiver = Receiver(name="receiver", accept_flows={"tcp"})
+    sender = NewRenoSender(
+        receiver,
+        flow="tcp",
+        packet_bits=packet_bits,
+        name="tcp",
+        initial_ssthresh=1e9,
+        max_rto=120.0,
+    )
+    sender.connect(link)
+    link.connect(receiver)
+    network.add(sender)
+    network.run(until=duration)
+
+    samples = sender.rtt_series()
+    rtts = [rtt for _, rtt in samples] if samples else [propagation_delay]
+    return {
+        "throughput_bps": receiver.throughput_bps(0.0, duration, flow="tcp"),
+        "max_rtt_s": max(rtts),
+        "mean_rtt_s": sum(rtts) / len(rtts),
+        "link_layer_retransmissions": link.link_layer_retransmissions,
+        "buffer_drops": link.drop_count,
+        "peak_buffer_bits": link.peak_occupancy_bits,
+    }
+
+
+# ------------------------------------------------------------- spec generators
+
+
+def alpha_sweep_specs(
+    alphas: Sequence[float] = (0.9, 1.0, 2.5, 5.0),
+    seed: int = 1,
+    duration: float = 90.0,
+    switch_interval: float = 30.0,
+    **params: float,
+) -> list[ScenarioSpec]:
+    """Specs for the Figure-3 α sweep through the ``figure3_alpha`` scenario."""
+    return grid(
+        "figure3_alpha",
+        seeds=(seed,),
+        base={"duration": duration, "switch_interval": switch_interval, **params},
+        alpha=list(alphas),
+    )
+
+
+def loss_delay_buffer_specs(
+    losses: Sequence[float] = (0.0, 0.02, 0.1),
+    delays: Sequence[float] = (0.0, 0.02, 0.08),
+    buffers: Sequence[float] = (120_000.0, 480_000.0, 1_920_000.0),
+    seeds: Sequence[int] | int = (0,),
+    duration: float = 20.0,
+    link_rate_bps: float = 1_000_000.0,
+) -> list[ScenarioSpec]:
+    """The loss × delay × buffer grid over the ``single_link_tcp`` scenario."""
+    return grid(
+        "single_link_tcp",
+        seeds=seeds,
+        base={"duration": duration, "link_rate_bps": link_rate_bps},
+        loss_rate=list(losses),
+        extra_delay_s=list(delays),
+        buffer_bits=list(buffers),
+    )
+
+
+def cellular_trace_specs(
+    seeds: Sequence[int] | int = 4,
+    duration: float = 60.0,
+    **params: float,
+) -> list[ScenarioSpec]:
+    """Per-seed trials of the trace-driven cellular scenario."""
+    return grid("cellular_trace_tcp", seeds=seeds, base={"duration": duration, **params})

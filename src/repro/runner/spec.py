@@ -1,0 +1,127 @@
+"""Scenario specifications — the unit of work the runner executes.
+
+A :class:`ScenarioSpec` names a registered scenario, fixes its parameters,
+and carries a base seed.  Specs are plain, picklable data: the parallel
+backend ships them to worker processes instead of closures, and every
+worker can recompute the point's derived RNG seed from the spec alone
+(:func:`repro.sim.random.derive_seed` is process-independent).
+
+:func:`grid` expands parameter axes into the cross-product list of specs —
+the loss × delay × buffer sweeps and per-seed trial fans the experiments
+declare.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.random import derive_seed
+
+#: Parameter values a spec may carry — anything with a stable ``str``/JSON
+#: form, so derived seeds and canonical artifacts are reproducible.
+ParamValue = Any
+
+
+def canonical_params(params: Mapping[str, ParamValue]) -> str:
+    """Render ``params`` as canonical JSON (sorted keys, no whitespace).
+
+    Two dicts with the same items in different insertion order canonicalize
+    identically, so derived seeds never depend on how a spec was built.
+    """
+    try:
+        return json.dumps(params, sort_keys=True, separators=(",", ":"), default=str)
+    except TypeError as error:  # pragma: no cover - defensive
+        raise ConfigurationError(f"scenario params are not serializable: {error}") from error
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One runnable point: a scenario name, its parameters, and a seed."""
+
+    scenario: str
+    params: dict[str, ParamValue] = field(default_factory=dict)
+    seed: int = 0
+
+    @property
+    def derived_seed(self) -> int:
+        """The worker-safe RNG seed for this point.
+
+        Derived from ``(seed, scenario, canonical params)`` so that every
+        point of a sweep gets a decorrelated stream even when the whole
+        sweep shares one base seed, and so any process — serial loop or
+        forked worker — computes the same value.
+        """
+        return derive_seed(self.seed, "scenario", self.scenario, canonical_params(self.params))
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity, e.g. ``figure3_alpha[alpha=1,seed=1]``."""
+        parts = [f"{key}={self.params[key]}" for key in sorted(self.params)]
+        parts.append(f"seed={self.seed}")
+        return f"{self.scenario}[{','.join(parts)}]"
+
+    def canonical(self) -> str:
+        """Canonical JSON identity of the spec (used in artifacts)."""
+        return json.dumps(
+            {"scenario": self.scenario, "params": self.params, "seed": self.seed},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+
+
+def grid(
+    scenario: str,
+    *,
+    seeds: Sequence[int] | int = (0,),
+    base: Mapping[str, ParamValue] | None = None,
+    **axes: Iterable[ParamValue],
+) -> list[ScenarioSpec]:
+    """Expand parameter axes into the cross product of :class:`ScenarioSpec`.
+
+    Parameters
+    ----------
+    scenario:
+        Registered scenario name.
+    seeds:
+        Base seeds to replicate every grid point over; an ``int`` means
+        ``range(n)`` trials.
+    base:
+        Parameters shared by every point (not swept).
+    axes:
+        Each keyword is one swept parameter with its iterable of values,
+        e.g. ``grid("single_link_tcp", loss_rate=(0.0, 0.1), extra_delay_s=(0.0, 0.05))``.
+
+    The expansion order is deterministic: axes vary in keyword order with
+    the rightmost axis fastest, and seeds fastest of all, so the same call
+    always produces the same spec list (which the result artifacts preserve).
+    """
+    if isinstance(seeds, int):
+        seeds = tuple(range(seeds))
+    else:
+        seeds = tuple(seeds)
+    if not seeds:
+        raise ConfigurationError("grid() needs at least one seed")
+    fixed = dict(base or {})
+    names = list(axes)
+    value_lists = []
+    for name in names:
+        values = list(axes[name])
+        if not values:
+            raise ConfigurationError(f"grid axis {name!r} has no values")
+        value_lists.append(values)
+
+    specs: list[ScenarioSpec] = []
+    for combo in itertools.product(*value_lists) if names else [()]:
+        params = dict(fixed)
+        params.update(zip(names, combo))
+        for seed in seeds:
+            # Each spec gets its own params dict: the specs are frozen value
+            # objects, and sharing one mutable dict across the per-seed
+            # replicas would let one mutation corrupt its siblings' identity.
+            specs.append(ScenarioSpec(scenario=scenario, params=dict(params), seed=seed))
+    return specs

@@ -15,6 +15,7 @@ generic multi-port mechanism, mirroring the paper's vocabulary.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Iterable, Iterator, Optional
 
 from repro.errors import WiringError
@@ -225,6 +226,50 @@ class Network:
         for element in self._elements:
             element.reset()
             element._sim = self.sim  # re-bind without tripping the double-attach guard
+
+
+def _element_classes() -> list[type[Element]]:
+    """:class:`Element` and every (transitive) subclass."""
+    classes: list[type[Element]] = []
+    stack: list[type[Element]] = [Element]
+    while stack:
+        cls = stack.pop()
+        classes.append(cls)
+        stack.extend(cls.__subclasses__())
+    return classes
+
+
+def reset_instance_counters() -> None:
+    """Zero the default-name counters of :class:`Element` and every subclass.
+
+    Default element names ("loss-3", "buffer-7", ...) come from per-class
+    instance counters, and an element's random streams are keyed by its name.
+    A scenario built from default-named elements therefore draws different
+    random numbers depending on how many elements earlier scenarios created
+    in the same process.  The scenario runner executes each point with these
+    counters zeroed so a point's results depend only on its spec and seed —
+    identically in a fresh worker process and in a long-lived serial one.
+    """
+    for cls in _element_classes():
+        cls._instance_counter = 0
+
+
+@contextmanager
+def fresh_instance_counters():
+    """Run a block with zeroed name counters, then restore the caller's.
+
+    The scenario runner wraps every point in this so points are
+    deterministic (counters start at zero) *without* leaking the reset into
+    the calling process — elements the caller creates after an in-process
+    serial sweep keep counting from where they left off.
+    """
+    snapshot = {cls: cls._instance_counter for cls in _element_classes()}
+    reset_instance_counters()
+    try:
+        yield
+    finally:
+        for cls, count in snapshot.items():
+            cls._instance_counter = count
 
 
 def _walk(root: Element) -> Iterator[Element]:

@@ -44,6 +44,7 @@ class Simulator:
         self._queue: list[Event] = []
         self._event_seq = 0
         self._events_processed = 0
+        self._live_events = 0
         self._running = False
 
     # ------------------------------------------------------------------ clock
@@ -60,8 +61,13 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled events that have not been cancelled."""
-        return sum(1 for event in self._queue if event.alive)
+        """Number of scheduled events that have not been cancelled.
+
+        Maintained as a live counter — incremented on schedule, decremented
+        on fire and on cancellation — so the property is O(1) rather than a
+        rescan of the whole heap (which showed up in long runs that poll it).
+        """
+        return self._live_events
 
     # -------------------------------------------------------------- scheduling
 
@@ -87,7 +93,9 @@ class Simulator:
                 f"cannot schedule event at {time:.6f}, clock is already at {self._now:.6f}"
             )
         event = Event(time, priority, self._event_seq, callback, args, kwargs)
+        event._owner = self
         self._event_seq += 1
+        self._live_events += 1
         heapq.heappush(self._queue, event)
         return event
 
@@ -131,6 +139,8 @@ class Simulator:
         event = heapq.heappop(self._queue)
         if event.time < self._now:  # pragma: no cover - defensive
             raise SimulationError("event queue returned an event from the past")
+        event._finalized = True
+        self._live_events -= 1
         self._now = event.time
         self._events_processed += 1
         event.fire()
@@ -195,9 +205,15 @@ class Simulator:
 
     # ---------------------------------------------------------------- helpers
 
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` on a still-pending event."""
+        self._live_events -= 1
+
     def _discard_dead(self) -> None:
+        # Cancelled events were already removed from the live count by the
+        # cancel hook; here they only need to leave the heap.
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            heapq.heappop(self._queue)._finalized = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self._now:.6f}, pending={self.pending})"

@@ -20,7 +20,17 @@ class Event:
     :meth:`cancel` later (for example to clear a retransmission timer).
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "kwargs", "cancelled")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "callback",
+        "args",
+        "kwargs",
+        "cancelled",
+        "_owner",
+        "_finalized",
+    )
 
     def __init__(
         self,
@@ -38,10 +48,20 @@ class Event:
         self.args = args
         self.kwargs = kwargs or {}
         self.cancelled = False
+        #: The engine that scheduled this event, notified on cancellation so
+        #: it can maintain a live-event count without rescanning its queue.
+        self._owner = None
+        #: Set once the engine has popped the event (fired or discarded);
+        #: cancelling after that point is a no-op.
+        self._finalized = False
 
     def cancel(self) -> None:
-        """Mark the event dead so the engine will skip it."""
+        """Mark the event dead so the engine will skip it (idempotent)."""
+        if self.cancelled or self._finalized:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()
 
     @property
     def alive(self) -> bool:

@@ -14,6 +14,21 @@ import random
 from typing import Iterator
 
 
+def derive_seed(*components: object) -> int:
+    """Derive a 64-bit seed from an arbitrary tuple of components.
+
+    The derivation hashes the ``":"``-joined string forms of the components,
+    so it is stable across processes and Python invocations (unlike
+    ``hash()``, which is salted).  This is the primitive both
+    :class:`RngRegistry` and the scenario runner use: a worker process can
+    recompute the exact seed for any (scenario, parameters, trial) point
+    without coordination.
+    """
+    text = ":".join(str(component) for component in components)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RngRegistry:
     """Factory for deterministic per-name :class:`random.Random` streams."""
 
@@ -49,8 +64,7 @@ class RngRegistry:
         return iter(sorted(self._streams))
 
     def _derive_seed(self, name: str) -> int:
-        digest = hashlib.sha256(f"{self._seed}:{name}".encode("utf-8")).digest()
-        return int.from_bytes(digest[:8], "big")
+        return derive_seed(self._seed, name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngRegistry(seed={self._seed}, streams={len(self._streams)})"

@@ -1,0 +1,84 @@
+"""Replay-equivalence suite: the engine's determinism, pinned down for real.
+
+The contract: a scenario spec plus a seed fully determines the summary
+metrics.  The same sweep must therefore produce *byte-identical* canonical
+artifacts run-to-run in one process, between the serial and parallel
+backends, and at any worker count — which is what makes parallel sweeps
+trustworthy and cached results comparable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import ParallelRunner, ScenarioSpec, SerialRunner
+from repro.runner.scenarios import loss_delay_buffer_specs
+
+#: A small but non-trivial grid: 2 losses x 2 delays = 4 points, short runs.
+SPECS = loss_delay_buffer_specs(
+    losses=(0.0, 0.05),
+    delays=(0.0, 0.02),
+    buffers=(240_000.0,),
+    duration=8.0,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_artifact() -> str:
+    return SerialRunner().run(SPECS).to_json()
+
+
+class TestRunToRunReplay:
+    def test_serial_rerun_is_byte_identical(self, serial_artifact):
+        assert SerialRunner().run(SPECS).to_json() == serial_artifact
+
+    def test_rerun_survives_unrelated_simulations_in_between(self, serial_artifact):
+        # Polluting the process with other simulations (which bump the
+        # element-name counters) must not change a later run's artifact.
+        SerialRunner().run([ScenarioSpec("single_link_tcp", params={"duration": 3.0}, seed=9)])
+        assert SerialRunner().run(SPECS).to_json() == serial_artifact
+
+    def test_different_seed_changes_stochastic_metrics(self):
+        lossy = [spec for spec in SPECS if spec.params["loss_rate"] > 0.0][:1]
+        reseeded = [
+            ScenarioSpec(spec.scenario, params=spec.params, seed=spec.seed + 1) for spec in lossy
+        ]
+        base = SerialRunner().run(lossy)
+        other = SerialRunner().run(reseeded)
+        assert base.metric("packets_sent") != other.metric("packets_sent") or base.metric(
+            "goodput_bps"
+        ) != other.metric("goodput_bps")
+
+
+class TestBackendEquivalence:
+    def test_parallel_matches_serial(self, serial_artifact):
+        assert ParallelRunner(workers=2).run(SPECS).to_json() == serial_artifact
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_count_does_not_matter(self, workers, serial_artifact):
+        assert ParallelRunner(workers=workers).run(SPECS).to_json() == serial_artifact
+
+    @pytest.mark.slow
+    def test_experiment_sweep_map_matches_across_backends(self):
+        # The rich-result path experiments use (runner.map over a top-level
+        # function) is backend-invariant too, not just registry metrics.
+        from repro.experiments import run_figure3
+
+        kwargs = dict(alphas=(0.9, 5.0), duration=30.0, switch_interval=15.0)
+        serial = run_figure3(**kwargs, runner=SerialRunner())
+        parallel = run_figure3(**kwargs, runner=ParallelRunner(workers=2))
+
+        def summary(result):
+            return [
+                (
+                    point.alpha,
+                    point.packets_sent,
+                    point.packets_acked,
+                    point.buffer_drops,
+                    point.rate_off_bps,
+                    list(point.sequence_series.values),
+                )
+                for point in result.per_alpha
+            ]
+
+        assert summary(serial) == summary(parallel)

@@ -90,6 +90,68 @@ class TestCancellation:
         assert keep.alive
 
 
+class TestPendingCounter:
+    """`Simulator.pending` is a live counter, not an O(n) heap rescan."""
+
+    def test_tracks_schedule_fire_and_cancel(self, sim):
+        events = [sim.schedule(float(index + 1), lambda: None) for index in range(5)]
+        assert sim.pending == 5
+        events[3].cancel()  # direct Event.cancel, not via the simulator
+        sim.cancel(events[4])
+        assert sim.pending == 3
+        sim.step()
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+    def test_double_cancel_counts_once(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        other = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.cancel(event)
+        assert sim.pending == 1
+        assert other.alive
+
+    def test_cancel_after_fire_is_a_noop(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        pending = sim.schedule(2.0, lambda: None)
+        sim.step()
+        event.cancel()  # the rto-timer pattern: cancelling an expired timer
+        assert sim.pending == 1
+        assert pending.alive
+
+    def test_cancel_of_discarded_event_is_a_noop(self, sim):
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == pytest.approx(2.0)  # discards the dead head
+        first.cancel()
+        assert sim.pending == 1
+
+    def test_events_scheduled_during_callbacks_are_counted(self, sim):
+        def reschedule():
+            if sim.now < 5.0:
+                sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == 5
+
+    def test_matches_slow_rescan_under_churn(self, sim):
+        events = []
+        for index in range(50):
+            events.append(sim.schedule(float(index % 7) + 0.5, lambda: None))
+        for event in events[::3]:
+            event.cancel()
+        expected = sum(1 for event in sim._queue if event.alive)
+        assert sim.pending == expected
+        while sim.step():
+            assert sim.pending == sum(1 for event in sim._queue if event.alive)
+
+
 class TestRunControl:
     def test_run_until_stops_before_later_events(self, sim):
         fired = []
