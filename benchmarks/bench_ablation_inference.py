@@ -3,20 +3,31 @@
 DESIGN.md calls out three approximations on top of the paper's rejection
 sampling: the likelihood kernel, the hypothesis-count cap, and decision
 memoization.  This benchmark measures their cost/fidelity trade-off on a
-shortened Figure-3 scenario.
+shortened Figure-3 scenario, and pits the scalar belief engine against the
+vectorized (NumPy struct-of-arrays) backend at the full 512-hypothesis cap,
+emitting the ``BENCH_inference.json`` regression record that
+``benchmarks/compare.py`` gates on.
 """
 
 from __future__ import annotations
 
 from repro.experiments import run_inference_ablation
 from repro.experiments.ablation import AblationConfig
-from repro.metrics.summary import format_table
+from repro.experiments.inference_bench import (
+    InferenceBenchConfig,
+    run_backend_comparison,
+)
+from repro.metrics.summary import ExperimentRow, format_table
+
+#: The acceptance floor for the vectorized backend on the update hot path.
+MIN_VECTORIZED_SPEEDUP = 5.0
 
 BENCH_CONFIGS = (
     AblationConfig(label="gaussian kernel / 200 hyps"),
     AblationConfig(label="gaussian kernel / 50 hyps", max_hypotheses=50, top_k=8),
     AblationConfig(label="exact (rejection) kernel", kernel="exact", kernel_scale=0.75),
     AblationConfig(label="policy cache", use_policy_cache=True),
+    AblationConfig(label="vectorized backend / 200 hyps", backend="vectorized"),
 )
 
 
@@ -44,4 +55,87 @@ def test_inference_ablation(benchmark, table_printer):
     assert (
         outcomes["gaussian kernel / 50 hyps"].final_hypotheses
         <= outcomes["gaussian kernel / 200 hyps"].final_hypotheses
+    )
+    # The vectorized backend reproduces the scalar sender's inference.
+    scalar = outcomes["gaussian kernel / 200 hyps"]
+    vectorized = outcomes["vectorized backend / 200 hyps"]
+    assert vectorized.posterior_true_link_rate > 0.5
+    assert vectorized.packets_sent == scalar.packets_sent
+    assert vectorized.final_hypotheses == scalar.final_hypotheses
+
+
+def test_vectorized_backend_speedup(table_printer, bench_record):
+    """Scalar vs. vectorized belief updates at the 512-hypothesis cap.
+
+    Measures the inference hot path in isolation (the exact
+    ``record_send``/``update`` sequence an ISender issues), asserts the
+    tentpole >=5x speedup, and writes the BENCH_inference.json record so
+    ``python benchmarks/compare.py BENCH_inference.json`` can gate future
+    changes.
+    """
+    config = InferenceBenchConfig()
+    comparison = run_backend_comparison(config, rounds=2)
+    scalar, vectorized = comparison.scalar, comparison.vectorized
+
+    rows = [
+        ExperimentRow(
+            label=result.backend,
+            values={
+                "wall_time (s)": result.wall_time_s,
+                "updates": result.updates_applied,
+                "hypotheses": result.final_hypotheses,
+                "compacted": result.compacted_away,
+                "degenerate": result.degenerate_updates,
+            },
+        )
+        for result in (scalar, vectorized)
+    ]
+    table_printer(
+        format_table(
+            rows,
+            title=(
+                f"Belief update hot path at {config.max_hypotheses} hypotheses "
+                f"(speedup {comparison.speedup:.1f}x)"
+            ),
+        )
+    )
+
+    bench_record(
+        "inference",
+        entries={
+            "scalar_512": (
+                {
+                    "wall_time_s": scalar.wall_time_s,
+                    "updates": scalar.updates_applied,
+                    "final_hypotheses": scalar.final_hypotheses,
+                },
+                {"backend": "scalar", "max_hypotheses": config.max_hypotheses},
+            ),
+            "vectorized_512": (
+                {
+                    "wall_time_s": vectorized.wall_time_s,
+                    "updates": vectorized.updates_applied,
+                    "final_hypotheses": vectorized.final_hypotheses,
+                    "speedup_vs_scalar": comparison.speedup,
+                    "max_weight_divergence": comparison.max_weight_divergence,
+                },
+                {"backend": "vectorized", "max_hypotheses": config.max_hypotheses},
+            ),
+        },
+        gates={
+            "vectorized_512.speedup_vs_scalar": {"min": MIN_VECTORIZED_SPEEDUP},
+            "vectorized_512.max_weight_divergence": {"max": 1e-9},
+        },
+    )
+
+    # Both backends walked the identical workload...
+    assert vectorized.updates_applied == scalar.updates_applied
+    assert vectorized.final_hypotheses == scalar.final_hypotheses
+    assert comparison.posteriors_match, (
+        f"posterior divergence {comparison.max_weight_divergence:g} exceeds tolerance"
+    )
+    # ...and the array backend clears the tentpole speedup target.
+    assert comparison.speedup >= MIN_VECTORIZED_SPEEDUP, (
+        f"vectorized backend only {comparison.speedup:.1f}x faster "
+        f"(target {MIN_VECTORIZED_SPEEDUP:.0f}x)"
     )

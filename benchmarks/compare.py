@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Gate on canonical ``BENCH_*.json`` records.
+
+Usage::
+
+    # Re-check a record's own gates (e.g. the >=5x vectorized speedup):
+    python benchmarks/compare.py BENCH_inference.json
+
+    # Additionally compare time-like metrics against a committed baseline,
+    # failing on regressions beyond the threshold (default 25%):
+    python benchmarks/compare.py BENCH_inference.json \
+        --baseline baselines/BENCH_inference.json --max-regression 0.25
+
+Exit status: 0 all gates pass, 1 at least one failure, 2 usage error.
+Records are produced by ``pytest -m bench`` (see benchmarks/conftest.py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running from a source checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.benchmarking import BenchRecord, GateFailure  # noqa: E402
+
+
+def _print_failures(kind: str, failures: list[GateFailure]) -> None:
+    for failure in failures:
+        print(f"FAIL [{kind}] {failure.message}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("records", nargs="+", help="BENCH_*.json files to check")
+    parser.add_argument(
+        "--baseline",
+        help="baseline BENCH_*.json to compare time-like metrics against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown vs. the baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline:
+        if not Path(args.baseline).exists():
+            print(f"baseline {args.baseline!r} does not exist", file=sys.stderr)
+            return 2
+        baseline = BenchRecord.load(args.baseline)
+
+    failed = False
+    for record_path in args.records:
+        if not Path(record_path).exists():
+            print(f"record {record_path!r} does not exist", file=sys.stderr)
+            return 2
+        record = BenchRecord.load(record_path)
+        gate_failures = record.check_gates()
+        _print_failures("gate", gate_failures)
+        regression_failures = []
+        if baseline is not None:
+            regression_failures = record.check_regressions(
+                baseline, max_regression=args.max_regression
+            )
+            _print_failures("regression", regression_failures)
+        if gate_failures or regression_failures:
+            failed = True
+        else:
+            checked = len(record.gates) + (len(record.entries) if baseline else 0)
+            print(f"OK {record_path}: {len(record.gates)} gate(s) pass ({checked} checks)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,18 +11,56 @@ full-length runs.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
+from repro.benchmarking import update_bench_record
 
-def pytest_collection_modifyitems(items) -> None:
-    """Mark everything under benchmarks/ with the ``bench`` marker.
+#: BENCH_*.json records live at the repository root, next to ROADMAP.md.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
-    Keeps the tier-1 test run fast: ``pytest -m "not bench"`` (or just the
-    default ``tests/`` collection) never picks these up, while
-    ``pytest benchmarks/...`` runs them explicitly.
+
+def pytest_collection_modifyitems(config, items) -> None:
+    """Mark everything under benchmarks/ with ``bench``; opt-in to run it.
+
+    Keeps the tier-1 run fast while preserving both benchmark workflows:
+
+    * ``pytest -m bench`` (any mark expression naming ``bench``) runs the
+      suite and refreshes the ``BENCH_*.json`` records;
+    * ``pytest benchmarks/bench_foo.py`` (an explicit benchmarks/ path on
+      the command line) runs that file as before;
+    * every other invocation — in particular the tier-1
+      ``pytest -x -q`` — deselects the benchmarks.
+
+    The hook receives the whole session's items (tests/ included when both
+    test paths are collected together), so it filters to this directory.
     """
+    bench_dir = Path(__file__).resolve().parent
+    bench_items = []
     for item in items:
-        item.add_marker(pytest.mark.bench)
+        if bench_dir in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
+            bench_items.append(item)
+    if not bench_items:
+        return
+    if "bench" in (config.option.markexpr or ""):
+        return  # the user's -m expression decides
+    if config.option.keyword:
+        return  # a -k expression selects by name; let it decide
+    for argument in config.invocation_params.args:
+        text = str(argument)
+        if text.startswith("-"):
+            continue
+        try:
+            path = Path(text.split("::", 1)[0]).resolve()
+        except OSError:  # pragma: no cover - unresolvable CLI token
+            continue
+        if path == bench_dir or bench_dir in path.parents:
+            return  # benchmarks were requested explicitly by path
+    config.hook.pytest_deselected(items=bench_items)
+    selected = set(map(id, bench_items))
+    items[:] = [item for item in items if id(item) not in selected]
 
 
 def print_result_table(text: str) -> None:
@@ -35,3 +73,27 @@ def print_result_table(text: str) -> None:
 def table_printer():
     """Fixture exposing :func:`print_result_table` to the benchmarks."""
     return print_result_table
+
+
+@pytest.fixture
+def bench_record():
+    """Write entries into a canonical ``BENCH_<name>.json`` at the repo root.
+
+    Usage inside a benchmark test::
+
+        bench_record(
+            "inference",
+            entries={"scalar_512": ({"wall_time_s": 1.2}, {"note": "..."})},
+            gates={"vectorized_512.speedup_vs_scalar": {"min": 5.0}},
+        )
+
+    Entries merge into the existing record, so several tests can contribute
+    to one file; see :mod:`repro.benchmarking` for the format and
+    ``benchmarks/compare.py`` for the regression gate.
+    """
+
+    def _record(name, entries, gates=None):
+        path = REPO_ROOT / f"BENCH_{name}.json"
+        return update_bench_record(path, name, entries, gates)
+
+    return _record

@@ -1,0 +1,196 @@
+"""Canonical benchmark records (``BENCH_*.json``) and regression gates.
+
+The benchmark suite under ``benchmarks/`` prints tables for humans; this
+module gives those runs a durable, machine-checkable trajectory.  Each
+benchmark family writes one ``BENCH_<name>.json`` at the repository root:
+
+* ``entries`` — one record per measured configuration, each a flat dict of
+  numeric metrics plus free-form metadata,
+* ``gates`` — self-contained pass/fail conditions over those metrics
+  (e.g. the vectorized inference backend must stay ≥5× the scalar path),
+
+serialized canonically (sorted keys, fixed indentation, trailing newline)
+so diffs against a committed baseline are meaningful.  ``benchmarks/
+compare.py`` is the command-line gate: it re-checks a record's own gates
+and, given a baseline file, flags wall-time regressions — so future PRs
+cannot silently regress the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional
+
+#: Record format version, bumped on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+#: Metric-name suffixes treated as "lower is better" by regression checks.
+TIME_METRIC_SUFFIXES = ("wall_time_s", "wall_time", "seconds", "_s")
+
+
+@dataclass
+class GateFailure:
+    """One violated condition, with everything needed to print a diagnosis."""
+
+    entry: str
+    metric: str
+    message: str
+
+
+@dataclass
+class BenchRecord:
+    """In-memory form of one ``BENCH_<name>.json`` file."""
+
+    name: str
+    entries: dict[str, dict] = field(default_factory=dict)
+    gates: dict[str, dict] = field(default_factory=dict)
+
+    # ----------------------------------------------------------------- editing
+
+    def record(
+        self,
+        label: str,
+        metrics: Mapping[str, float],
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Add or replace the entry ``label``."""
+        entry: dict = {"metrics": {key: float(value) for key, value in metrics.items()}}
+        if meta:
+            entry["meta"] = dict(meta)
+        self.entries[label] = entry
+
+    def gate(self, entry: str, metric: str, minimum: float | None = None, maximum: float | None = None) -> None:
+        """Require ``entry``'s ``metric`` to stay within the given bounds."""
+        condition: dict = {}
+        if minimum is not None:
+            condition["min"] = float(minimum)
+        if maximum is not None:
+            condition["max"] = float(maximum)
+        self.gates[f"{entry}.{metric}"] = condition
+
+    # -------------------------------------------------------------------- I/O
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "name": self.name,
+            "entries": self.entries,
+            "gates": self.gates,
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Serialize canonically (sorted keys, stable indentation)."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BenchRecord":
+        payload = json.loads(Path(path).read_text())
+        record = cls(name=payload.get("name", Path(path).stem))
+        record.entries = dict(payload.get("entries", {}))
+        record.gates = dict(payload.get("gates", {}))
+        return record
+
+    # ------------------------------------------------------------------ checks
+
+    def check_gates(self) -> list[GateFailure]:
+        """Evaluate the record's own gates; empty list means all pass."""
+        failures: list[GateFailure] = []
+        for target, condition in sorted(self.gates.items()):
+            entry_name, _, metric = target.rpartition(".")
+            entry = self.entries.get(entry_name)
+            value = None if entry is None else entry.get("metrics", {}).get(metric)
+            if value is None:
+                failures.append(
+                    GateFailure(entry_name, metric, f"gated metric {target!r} is missing")
+                )
+                continue
+            minimum = condition.get("min")
+            maximum = condition.get("max")
+            if minimum is not None and value < minimum:
+                failures.append(
+                    GateFailure(
+                        entry_name,
+                        metric,
+                        f"{target} = {value:g} violates minimum {minimum:g}",
+                    )
+                )
+            if maximum is not None and value > maximum:
+                failures.append(
+                    GateFailure(
+                        entry_name,
+                        metric,
+                        f"{target} = {value:g} violates maximum {maximum:g}",
+                    )
+                )
+        return failures
+
+    def check_regressions(
+        self, baseline: "BenchRecord", max_regression: float = 0.25
+    ) -> list[GateFailure]:
+        """Compare time-like metrics against ``baseline``.
+
+        A metric regresses when it exceeds the baseline by more than
+        ``max_regression`` (fractional).  Entries or metrics absent from the
+        baseline are skipped — new benchmarks are not regressions.
+        """
+        failures: list[GateFailure] = []
+        for label, entry in sorted(self.entries.items()):
+            base_entry = baseline.entries.get(label)
+            if base_entry is None:
+                continue
+            base_metrics = base_entry.get("metrics", {})
+            for metric, value in sorted(entry.get("metrics", {}).items()):
+                if not metric.endswith(TIME_METRIC_SUFFIXES):
+                    continue
+                base_value = base_metrics.get(metric)
+                if base_value is None or base_value <= 0:
+                    continue
+                limit = base_value * (1.0 + max_regression)
+                if value > limit:
+                    failures.append(
+                        GateFailure(
+                            label,
+                            metric,
+                            f"{label}.{metric} = {value:g} exceeds baseline "
+                            f"{base_value:g} by more than {max_regression:.0%}",
+                        )
+                    )
+        return failures
+
+
+def update_bench_record(
+    path: str | Path,
+    name: str,
+    entries: Mapping[str, tuple[Mapping[str, float], Optional[Mapping[str, object]]]],
+    gates: Optional[Mapping[str, Mapping[str, float]]] = None,
+) -> BenchRecord:
+    """Merge ``entries`` (and optional ``gates``) into the record at ``path``.
+
+    Existing entries with other labels are preserved, so several benchmark
+    tests can contribute to one ``BENCH_*.json`` file.
+    """
+    path = Path(path)
+    if path.exists():
+        try:
+            record = BenchRecord.load(path)
+        except (ValueError, OSError):
+            # Never silently discard accumulated entries: preserve the
+            # unreadable file next to the fresh record and say so.
+            backup = path.with_suffix(path.suffix + ".corrupt")
+            path.replace(backup)
+            print(f"warning: {path} was unreadable; preserved as {backup}")
+            record = BenchRecord(name=name)
+    else:
+        record = BenchRecord(name=name)
+    record.name = name
+    for label, (metrics, meta) in entries.items():
+        record.record(label, metrics, meta)
+    if gates:
+        for target, condition in gates.items():
+            record.gates[target] = dict(condition)
+    record.write(path)
+    return record

@@ -33,6 +33,7 @@ class AblationConfig:
     max_hypotheses: int = 200
     top_k: int = 16
     use_policy_cache: bool = False
+    backend: str = "scalar"  # "scalar" or "vectorized" belief engine
 
 
 @dataclass
@@ -116,7 +117,12 @@ def run_ablation_config(
         kernel = ExactMatchKernel(tolerance=config.kernel_scale)
     else:
         kernel = GaussianKernel(sigma=config.kernel_scale)
-    belief = BeliefState.from_prior(prior, kernel=kernel, max_hypotheses=config.max_hypotheses)
+    belief = BeliefState.from_prior(
+        prior,
+        kernel=kernel,
+        max_hypotheses=config.max_hypotheses,
+        backend=config.backend,
+    )
     planner = ExpectedUtilityPlanner(
         AlphaWeightedUtility(alpha=alpha, discount_timescale=20.0),
         packet_bits=packet_bits,

@@ -18,7 +18,9 @@ class SenderSettings:
     ``discount_timescale`` and ``horizon`` trade off how strongly the
     sender's utility weighs harm inflicted on cross traffic against its own
     immediate throughput; the defaults are the calibration used for the
-    Figure-3 reproduction (see EXPERIMENTS.md).
+    Figure-3 reproduction (see EXPERIMENTS.md).  ``belief_backend`` selects
+    the inference engine: ``"scalar"`` (the per-object reference path) or
+    ``"vectorized"`` (the NumPy struct-of-arrays ensemble).
     """
 
     alpha: float = 1.0
@@ -29,6 +31,7 @@ class SenderSettings:
     top_k: int = 16
     packet_bits: float = DEFAULT_PACKET_BITS
     use_policy_cache: bool = False
+    belief_backend: str = "scalar"
 
 
 def attach_isender(
@@ -43,6 +46,7 @@ def attach_isender(
         prior,
         kernel=GaussianKernel(sigma=settings.kernel_sigma),
         max_hypotheses=settings.max_hypotheses,
+        backend=settings.belief_backend,
     )
     if utility is None:
         utility = AlphaWeightedUtility(

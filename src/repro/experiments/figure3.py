@@ -19,7 +19,7 @@ data (with tolerances, since our substrate is not the authors' simulator).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.experiments.common import SenderSettings, attach_isender
@@ -165,16 +165,7 @@ def run_figure3_point(
         fill_points=prior_points[4],
         packet_bits=packet_bits,
     )
-    run_settings = SenderSettings(
-        alpha=alpha,
-        discount_timescale=base.discount_timescale,
-        latency_penalty=base.latency_penalty,
-        kernel_sigma=base.kernel_sigma,
-        max_hypotheses=base.max_hypotheses,
-        top_k=base.top_k,
-        packet_bits=packet_bits,
-        use_policy_cache=base.use_policy_cache,
-    )
+    run_settings = replace(base, alpha=alpha, packet_bits=packet_bits)
     sender = attach_isender(network, prior, run_settings)
     network.network.run(until=duration)
 

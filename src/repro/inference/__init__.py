@@ -17,6 +17,9 @@ package provides:
   state plus latent cross-traffic gating, with forking and scoring.
 * :mod:`repro.inference.belief` — the weighted ensemble of hypotheses and
   its sequential Bayesian update (fork, score, prune, compact, renormalize).
+* :mod:`repro.inference.vectorized` — the NumPy struct-of-arrays backend
+  implementing the same update as batched array operations; select it with
+  ``BeliefState.from_prior(..., backend="vectorized")``.
 """
 
 from repro.inference.belief import BeliefState

@@ -10,6 +10,7 @@ pruned, compacted, and renormalized.
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
@@ -82,7 +83,32 @@ class BeliefState:
         #: Number of hypotheses merged away by compaction, cumulative.
         self.compacted_away = 0
 
+    #: Name of the storage/execution backend this class implements.
+    backend = "scalar"
+
     # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def for_backend(cls, backend: Optional[str]) -> type["BeliefState"]:
+        """The BeliefState class implementing ``backend``.
+
+        ``None`` keeps the class it was called on; ``"scalar"`` is this
+        reference implementation; ``"vectorized"`` is the NumPy
+        struct-of-arrays engine in :mod:`repro.inference.vectorized`.
+        """
+        if backend is None:
+            return cls
+        if backend == "scalar":
+            return BeliefState
+        if backend == "vectorized":
+            try:
+                from repro.inference.vectorized import VectorizedBeliefState
+            except ImportError as error:  # pragma: no cover - numpy is a core dep
+                raise InferenceError(
+                    "the vectorized inference backend requires NumPy"
+                ) from error
+            return VectorizedBeliefState
+        raise InferenceError(f"unknown belief backend {backend!r}")
 
     @classmethod
     def from_prior(
@@ -90,13 +116,16 @@ class BeliefState:
         prior: Prior,
         hypothesis_factory: Optional[Callable[[Mapping[str, float]], Hypothesis]] = None,
         start_time: float = 0.0,
+        backend: Optional[str] = None,
         **kwargs,
     ) -> "BeliefState":
         """Instantiate one hypothesis per prior grid point.
 
         ``hypothesis_factory`` maps a parameter assignment to a Hypothesis;
         by default :meth:`Hypothesis.from_params` is used, which covers every
-        configuration expressible by the fast link model.
+        configuration expressible by the fast link model.  ``backend``
+        selects the ensemble implementation (``"scalar"`` or
+        ``"vectorized"``); by default the class the method is called on.
         """
         hypotheses: list[Hypothesis] = []
         weights: list[float] = []
@@ -107,7 +136,7 @@ class BeliefState:
                 hypothesis = Hypothesis.from_params(assignment, start_time=start_time)
             hypotheses.append(hypothesis)
             weights.append(probability)
-        return cls(hypotheses, weights, **kwargs)
+        return cls.for_backend(backend)(hypotheses, weights, **kwargs)
 
     # -------------------------------------------------------------- inspection
 
@@ -128,20 +157,34 @@ class BeliefState:
         return iter(zip(self._hypotheses, self._weights))
 
     def top(self, count: int) -> list[tuple[Hypothesis, float]]:
-        """The ``count`` highest-weight hypotheses, heaviest first."""
-        order = sorted(range(len(self._weights)), key=lambda i: self._weights[i], reverse=True)
-        return [(self._hypotheses[i], self._weights[i]) for i in order[:count]]
+        """The ``count`` highest-weight hypotheses, heaviest first.
+
+        Uses a heap selection (O(n log count)) instead of sorting the whole
+        ensemble; ``heapq.nlargest`` keeps the same stable tie-breaking as
+        the full descending sort it replaces.
+        """
+        weights = self._weights
+        order = heapq.nlargest(count, range(len(weights)), key=weights.__getitem__)
+        return [(self._hypotheses[i], weights[i]) for i in order]
 
     def map_estimate(self) -> Hypothesis:
         """The maximum a-posteriori hypothesis."""
         index = max(range(len(self._weights)), key=lambda i: self._weights[i])
         return self._hypotheses[index]
 
+    def _weight_values(self) -> list[float]:
+        """The normalized weights as a plain list (storage-backend hook)."""
+        return self._weights
+
+    def _parameter_dicts(self) -> Iterable[Mapping[str, float]]:
+        """Per-hypothesis parameter assignments (storage-backend hook)."""
+        return (hypothesis.params for hypothesis in self._hypotheses)
+
     def posterior_mean(self, parameter: str) -> float:
         """Posterior mean of one parameter across the ensemble."""
         total = 0.0
-        for hypothesis, weight in zip(self._hypotheses, self._weights):
-            value = hypothesis.params.get(parameter)
+        for params, weight in zip(self._parameter_dicts(), self._weight_values()):
+            value = params.get(parameter)
             if value is None:
                 raise InferenceError(f"hypotheses carry no parameter named {parameter!r}")
             total += float(value) * weight
@@ -150,8 +193,8 @@ class BeliefState:
     def posterior_marginal(self, parameter: str) -> dict[float, float]:
         """Posterior probability of each distinct value of one parameter."""
         marginal: dict[float, float] = {}
-        for hypothesis, weight in zip(self._hypotheses, self._weights):
-            value = hypothesis.params.get(parameter)
+        for params, weight in zip(self._parameter_dicts(), self._weight_values()):
+            value = params.get(parameter)
             if value is None:
                 raise InferenceError(f"hypotheses carry no parameter named {parameter!r}")
             marginal[value] = marginal.get(value, 0.0) + weight
@@ -159,11 +202,19 @@ class BeliefState:
 
     def effective_sample_size(self) -> float:
         """``1 / sum(w^2)`` — a standard measure of ensemble degeneracy."""
-        return 1.0 / sum(weight * weight for weight in self._weights)
+        total = 0.0
+        for weight in self._weight_values():
+            total += weight * weight
+        return 1.0 / total
 
     def entropy(self) -> float:
         """Shannon entropy (nats) of the weight distribution."""
-        return -sum(w * math.log(w) for w in self._weights if w > 0.0)
+        log = math.log
+        total = 0.0
+        for weight in self._weight_values():
+            if weight > 0.0:
+                total += weight * log(weight)
+        return -total
 
     # ------------------------------------------------------------------ update
 

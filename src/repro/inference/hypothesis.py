@@ -76,6 +76,23 @@ class Hypothesis:
         duplicate._lost_seqs = set(self._lost_seqs)
         return duplicate
 
+    # ----------------------------------------------------------- state export
+
+    def export_state(self) -> dict:
+        """Model latent state plus scoring bookkeeping, in a batchable layout."""
+        state = self.model.export_state()
+        state["resolved"] = sorted(self._resolved)
+        state["lost"] = sorted(self._lost_seqs)
+        return state
+
+    @classmethod
+    def from_state(cls, params: Mapping[str, float], model_params, state: dict) -> "Hypothesis":
+        """Rebuild a hypothesis from :meth:`export_state` output."""
+        hypothesis = cls(params, LinkModel.from_state(model_params, state))
+        hypothesis._resolved = set(state["resolved"])
+        hypothesis._lost_seqs = set(state["lost"])
+        return hypothesis
+
     # ---------------------------------------------------------------- sending
 
     def record_send(self, seq: int, size_bits: float, time: float) -> None:

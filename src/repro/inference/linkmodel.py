@@ -244,6 +244,63 @@ class LinkModel:
             duplicate.own_sent = {}
         return duplicate
 
+    # ----------------------------------------------------------- state export
+
+    def export_state(self) -> dict:
+        """The latent state as a plain dict of scalars and flat sequences.
+
+        This is the batchable layout the vectorized inference backend packs
+        into struct-of-arrays buffers: every entry is either a scalar or a
+        list of fixed-width tuples, with no references back into the model.
+        ``cross`` tallies are intentionally excluded — they are history, not
+        latent state, and the vectorized ensemble does not retain them.
+        """
+        return {
+            "time": self.time,
+            "gate_on": self.gate_on,
+            "next_cross_time": self.next_cross_time,
+            "next_cross_seq": self._next_cross_seq,
+            "queue": [(p.flow, p.seq, p.size_bits) for p in self._queue],
+            "queue_bits": self._queue_bits,
+            "in_service": (
+                (self._in_service.flow, self._in_service.seq, self._in_service.size_bits)
+                if self._in_service is not None
+                else None
+            ),
+            "service_completion": self._service_completion,
+            "predictions": [
+                (p.seq, p.kind, p.time, p.survival) for p in self.predictions.values()
+            ],
+            "own_sent": dict(self.own_sent),
+        }
+
+    @classmethod
+    def from_state(cls, params: LinkModelParams, state: dict) -> "LinkModel":
+        """Rebuild a model from :meth:`export_state` output (inverse operation)."""
+        model = cls.__new__(cls)
+        model.params = params
+        model.time = float(state["time"])
+        model.gate_on = bool(state["gate_on"])
+        model.next_cross_time = float(state["next_cross_time"])
+        model._next_cross_seq = int(state["next_cross_seq"])
+        model._queue = deque(
+            _QueuedPacket(flow, seq, size) for flow, seq, size in state["queue"]
+        )
+        model._queue_bits = float(state["queue_bits"])
+        in_service = state["in_service"]
+        if in_service is not None:
+            model._in_service = _QueuedPacket(in_service[0], in_service[1], in_service[2])
+        else:
+            model._in_service = None
+        model._service_completion = float(state["service_completion"])
+        model.predictions = {
+            seq: Prediction(seq=seq, kind=kind, time=time, survival=survival)
+            for seq, kind, time, survival in state["predictions"]
+        }
+        model.cross = CrossTally()
+        model.own_sent = dict(state["own_sent"])
+        return model
+
     # ------------------------------------------------------------- gate state
 
     def set_gate(self, on: bool, time: Optional[float] = None) -> None:

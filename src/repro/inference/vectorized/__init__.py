@@ -1,0 +1,28 @@
+"""Array-backed (NumPy struct-of-arrays) inference backend.
+
+The scalar :class:`~repro.inference.belief.BeliefState` walks a Python list
+of :class:`~repro.inference.hypothesis.Hypothesis` objects on every sender
+wake-up — clone, advance, score, compact, prune, one hypothesis at a time.
+At the default 512-hypothesis cap that per-object loop dominates every
+experiment.  This package stores the whole ensemble as struct-of-arrays
+NumPy buffers instead and batches each step across all rows:
+
+* :mod:`~repro.inference.vectorized.state` — the buffers themselves
+  (parameters, gate state, queue ring buffers, in-flight packet ledgers)
+  plus on-demand materialization back to scalar hypotheses,
+* :mod:`~repro.inference.vectorized.engine` — batched forward simulation
+  (``advance`` / ``send_own``) and gate forking,
+* :mod:`~repro.inference.vectorized.scoring` — batched log-space
+  likelihood accumulation with scalar-identical semantics,
+* :mod:`~repro.inference.vectorized.belief` — the drop-in
+  :class:`VectorizedBeliefState`.
+
+Select it anywhere a belief is built via
+``BeliefState.from_prior(..., backend="vectorized")`` (the scalar path
+remains the reference implementation).
+"""
+
+from repro.inference.vectorized.belief import VectorizedBeliefState
+from repro.inference.vectorized.state import EnsembleState
+
+__all__ = ["EnsembleState", "VectorizedBeliefState"]

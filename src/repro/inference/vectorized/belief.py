@@ -1,0 +1,213 @@
+"""The array-backed belief state.
+
+:class:`VectorizedBeliefState` is a drop-in replacement for
+:class:`~repro.inference.belief.BeliefState` that stores the whole ensemble
+in one :class:`~repro.inference.vectorized.state.EnsembleState` and runs
+every step of the sequential Bayesian update — forward simulation, gate
+forking, scoring, compaction, pruning, renormalization — as batched array
+operations over struct-of-arrays buffers.
+
+Equivalence contract with the scalar backend (exercised by
+``tests/test_inference_vectorized.py``): the two backends apply the same
+operations in the same order, and every arithmetic step that feeds a weight
+uses either pure IEEE arithmetic (bit-identical between NumPy and Python
+floats) or the same ``math``-module transcendental, so posteriors normally
+match to the last bit.  The documented tolerance is ``1e-9`` relative — the
+only divergences in practice are one-ulp differences in transcendental
+calls on exotic platforms.
+
+Scalar :class:`~repro.inference.hypothesis.Hypothesis` objects are
+*materialized on demand* — ``top(k)`` / ``map_estimate`` rebuild only the
+rows the planner asks for, so the planner's rollout path is unchanged while
+the per-wake-up belief update no longer touches per-hypothesis Python
+objects at all.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DegenerateBeliefError, InferenceError
+from repro.inference.belief import BeliefState
+from repro.inference.hypothesis import Hypothesis
+from repro.inference.likelihood import LikelihoodKernel
+from repro.inference.observation import AckObservation
+from repro.inference.vectorized import engine
+from repro.inference.vectorized.scoring import score_and_bookkeep
+from repro.inference.vectorized.state import EnsembleState
+
+
+class VectorizedBeliefState(BeliefState):
+    """A :class:`BeliefState` whose ensemble lives in NumPy buffers."""
+
+    backend = "vectorized"
+
+    def __init__(
+        self,
+        hypotheses: Sequence[Hypothesis],
+        weights: Optional[Sequence[float]] = None,
+        kernel: Optional[LikelihoodKernel] = None,
+        max_hypotheses: int = 512,
+        prune_fraction: float = 1e-6,
+        missing_grace: float = 0.0,
+        on_degenerate: str = "keep",
+    ) -> None:
+        super().__init__(
+            hypotheses,
+            weights,
+            kernel=kernel,
+            max_hypotheses=max_hypotheses,
+            prune_fraction=prune_fraction,
+            missing_grace=missing_grace,
+            on_degenerate=on_degenerate,
+        )
+        self._state = EnsembleState.from_hypotheses(self._hypotheses)
+        self._weight_array = np.asarray(self._weights, dtype=float)
+        # The scalar containers are not used by this backend; drop them so
+        # stale objects cannot leak through (every accessor is overridden).
+        self._hypotheses = []
+        self._weights = []
+
+    # -------------------------------------------------------------- inspection
+
+    @property
+    def state(self) -> EnsembleState:
+        """The underlying struct-of-arrays ensemble (read-mostly)."""
+        return self._state
+
+    @property
+    def hypotheses(self) -> list[Hypothesis]:
+        return [self._state.materialize(row) for row in range(self._state.size)]
+
+    @property
+    def weights(self) -> list[float]:
+        return self._weight_array.tolist()
+
+    def __len__(self) -> int:
+        return self._state.size
+
+    def __iter__(self):
+        return iter(zip(self.hypotheses, self.weights))
+
+    def top(self, count: int) -> list[tuple[Hypothesis, float]]:
+        weights = self._weight_array.tolist()
+        order = heapq.nlargest(count, range(len(weights)), key=weights.__getitem__)
+        return [(self._state.materialize(row), weights[row]) for row in order]
+
+    def map_estimate(self) -> Hypothesis:
+        weights = self._weight_array.tolist()
+        return self._state.materialize(max(range(len(weights)), key=weights.__getitem__))
+
+    # posterior_mean / posterior_marginal / effective_sample_size / entropy
+    # are inherited: the base-class formulas read these two storage hooks.
+
+    def _weight_values(self) -> list[float]:
+        return self._weight_array.tolist()
+
+    def _parameter_dicts(self):
+        return self._state.params_dicts
+
+    # ------------------------------------------------------------------ update
+
+    def record_send(self, seq: int, size_bits: float, time: float) -> None:
+        engine.send_own(self._state, seq, size_bits, time)
+
+    def update(self, now: float, acks: Iterable[AckObservation] = ()) -> None:
+        acks = list(acks)
+        self.acked_seqs.update(ack.seq for ack in acks)
+
+        branch_state, parent, probability = engine.fork_and_advance(self._state, now)
+        prior_weight = self._weight_array[parent] * probability
+        log_likelihood = score_and_bookkeep(
+            branch_state,
+            acks,
+            now,
+            self.kernel,
+            self.acked_seqs,
+            missing_grace=self.missing_grace,
+        )
+        # exp over a Python loop: ll <= 0 always, and math.exp matches the
+        # scalar path's per-hypothesis call exactly.
+        likelihood = np.array([math.exp(value) for value in log_likelihood.tolist()])
+        candidate_weight = prior_weight * likelihood
+        candidate_mask = log_likelihood != -np.inf
+
+        self.updates_applied += 1
+        candidate_index = np.nonzero(candidate_mask)[0]
+        candidate_sum = sum(candidate_weight[candidate_index].tolist())
+        if candidate_index.size == 0 or candidate_sum <= 0.0:
+            self.degenerate_updates += 1
+            if self.on_degenerate == "raise":
+                raise DegenerateBeliefError(
+                    f"every hypothesis was rejected at t={now:.3f} "
+                    f"({len(acks)} acknowledgements in the update)"
+                )
+            kept_index = np.arange(branch_state.size)
+            kept_weights = prior_weight
+        else:
+            kept_index = candidate_index
+            kept_weights = candidate_weight[candidate_index]
+
+        kept_index, kept_weights = self._compact_rows(branch_state, kept_index, kept_weights)
+        kept_index, kept_weights = self._prune_rows(kept_index, kept_weights)
+        self._state = branch_state.select(kept_index)
+        # Built-in sum over the list keeps the normalizer's float accumulation
+        # identical to the scalar path's ordered summation.
+        total = sum(kept_weights.tolist())
+        if total <= 0.0:
+            raise InferenceError("cannot normalize an all-zero weight vector")
+        self._weight_array = kept_weights / total
+
+    # ----------------------------------------------------------------- helpers
+
+    def _compact_rows(
+        self, state: EnsembleState, rows: np.ndarray, weights: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Merge rows whose latent state digests are identical.
+
+        Same grouping as the scalar ``Hypothesis.signature`` (parameter
+        assignment, gate, queue contents, in-service packet, next cross
+        arrival, charged-lost set — packed into per-row bytes by
+        :meth:`EnsembleState.signature_digest`).  Groups keep the scalar
+        path's first-occurrence order, and ``np.add.at`` accumulates each
+        group's weights left to right — the identical float addition
+        sequence the scalar merge performs.
+        """
+        digests = state.signature_digest(rows)
+        merged: dict[bytes, int] = {}
+        kept_positions: list[int] = []
+        kept_weights: list[float] = []
+        weight_list = weights.tolist()
+        for position, key in enumerate(digests):
+            slot = merged.get(key)
+            if slot is not None:
+                kept_weights[slot] += weight_list[position]
+                self.compacted_away += 1
+            else:
+                merged[key] = len(kept_positions)
+                kept_positions.append(position)
+                kept_weights.append(weight_list[position])
+        if len(kept_positions) == rows.size:
+            return rows, weights
+        return rows[np.asarray(kept_positions, dtype=np.int64)], np.asarray(
+            kept_weights, dtype=float
+        )
+
+    def _prune_rows(
+        self, rows: np.ndarray, weights: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scalar-identical prune: threshold, stable descending sort, cap."""
+        if rows.size == 0:
+            return rows, weights
+        threshold = weights.max() * self.prune_fraction
+        keep = weights >= threshold
+        rows = rows[keep]
+        weights = weights[keep]
+        # Stable argsort on the negated weights == the scalar path's stable
+        # descending sort (ties keep candidate order).
+        order = np.argsort(-weights, kind="stable")[: self.max_hypotheses]
+        return rows[order], weights[order]

@@ -1,0 +1,532 @@
+"""Struct-of-arrays storage for a hypothesis ensemble.
+
+:class:`EnsembleState` holds the latent state of every hypothesis in one set
+of NumPy buffers, one row per hypothesis:
+
+* static configuration parameters (link rate, buffer capacity, loss rate,
+  cross-traffic rate, gate dwell time) plus precomputed log-likelihood
+  constants,
+* the dynamic link-model state (gate, next cross arrival, the packet in
+  service, the queue as fixed-width 2D ring buffers, queued bits),
+* the own-packet ledger: one *column* per sequence number the sender has
+  transmitted, holding each row's prediction (none / delivered / dropped),
+  prediction time, and the scoring bookkeeping bits (resolved, charged-lost).
+
+All hypotheses produced by a :class:`~repro.inference.belief.BeliefState`
+evolve in lockstep — every row sees the same sends and the same update
+times — so the model clock is a single scalar shared by the whole ensemble,
+and the own-packet ledger columns are shared too.
+
+Rows can be gathered (:meth:`select`), scatter-merged with another state
+(:meth:`interleave`, used when the gate forks the ensemble), and
+materialized back into ordinary
+:class:`~repro.inference.hypothesis.Hypothesis` objects for the planner.
+
+The one piece of scalar-model state deliberately *not* carried here is the
+cross-traffic delivery/drop tally: it is history rather than latent state,
+nothing in scoring, compaction, or planner rollouts reads the historical
+tally, and dropping it keeps the hot loop free of per-row Python lists.
+Materialized hypotheses therefore start with an empty
+:class:`~repro.inference.linkmodel.CrossTally`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.inference.hypothesis import Hypothesis
+
+#: Integer flow codes used inside the array buffers.
+FLOW_OWN = 0
+FLOW_CROSS = 1
+
+#: Prediction states in the own-packet ledger.
+PRED_NONE = 0
+PRED_DELIVERED = 1
+PRED_DROPPED = 2
+
+_FLOW_NAMES = {FLOW_OWN: "own", FLOW_CROSS: "cross"}
+_FLOW_CODES = {"own": FLOW_OWN, "cross": FLOW_CROSS}
+
+#: Initial queue-column / ledger-column capacity (both grow by doubling).
+_MIN_QUEUE_CAPACITY = 8
+_MIN_LEDGER_CAPACITY = 16
+
+#: Per-row 1D buffers, gathered/scattered wholesale by select/interleave.
+#: Must stay in sync with ``__slots__`` (there is one list, used by both).
+_ROW_FIELDS = (
+    "link_rate",
+    "buffer_cap",
+    "loss_rate",
+    "cross_rate_pps",
+    "cross_packet_bits",
+    "mtts",
+    "has_cross",
+    "survival",
+    "log_survival",
+    "log_loss",
+    "gate_on",
+    "next_cross_time",
+    "next_cross_seq",
+    "svc_active",
+    "svc_flow",
+    "svc_seq",
+    "svc_size",
+    "svc_completion",
+    "q_len",
+    "queue_bits",
+    "params_dicts",
+    "params_keys",
+    "params_id",
+    "model_params",
+)
+
+#: Per-row 2D buffers padded to the queue capacity.
+_QUEUE_FIELDS = ("q_flow", "q_seq", "q_size")
+
+#: Per-row 2D buffers padded to the own-packet ledger capacity.
+_LEDGER_FIELDS = ("pred_state", "pred_time", "resolved", "lost")
+
+
+class EnsembleState:
+    """Array-backed latent state of ``size`` hypotheses (one row each)."""
+
+    __slots__ = (
+        "size",
+        "time",
+        # static per-row parameters
+        "link_rate",
+        "buffer_cap",
+        "loss_rate",
+        "cross_rate_pps",
+        "cross_packet_bits",
+        "mtts",
+        "has_cross",
+        "survival",
+        "log_survival",
+        "log_loss",
+        # dynamic link-model state
+        "gate_on",
+        "next_cross_time",
+        "next_cross_seq",
+        "svc_active",
+        "svc_flow",
+        "svc_seq",
+        "svc_size",
+        "svc_completion",
+        "q_flow",
+        "q_seq",
+        "q_size",
+        "q_len",
+        "queue_bits",
+        # own-packet ledger (shared columns, per-row contents)
+        "own_seqs",
+        "own_sent_times",
+        "n_own",
+        "pred_state",
+        "pred_time",
+        "resolved",
+        "lost",
+        # per-row Python metadata (object ndarrays so gathers stay in C)
+        "params_dicts",
+        "params_keys",
+        "params_id",
+        "model_params",
+    )
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_hypotheses(cls, hypotheses: Sequence[Hypothesis]) -> "EnsembleState":
+        """Pack scalar hypotheses into struct-of-arrays buffers."""
+        if not hypotheses:
+            raise InferenceError("cannot build an ensemble from zero hypotheses")
+        states = [hypothesis.export_state() for hypothesis in hypotheses]
+        time = states[0]["time"]
+        for state in states:
+            if state["time"] != time:
+                raise InferenceError(
+                    "the vectorized backend requires every hypothesis to share "
+                    "one model clock (lockstep ensembles, as BeliefState maintains)"
+                )
+
+        self = cls.__new__(cls)
+        size = len(hypotheses)
+        self.size = size
+        self.time = float(time)
+
+        params = [hypothesis.model.params for hypothesis in hypotheses]
+        self.model_params = _object_array(params)
+        self.params_dicts = _object_array([hypothesis.params for hypothesis in hypotheses])
+        keys = [tuple(sorted(hypothesis.params.items())) for hypothesis in hypotheses]
+        self.params_keys = _object_array(keys)
+        # Distinct parameter assignments interned as small integers, so the
+        # compaction digest can treat "same configuration" as an int compare.
+        interned: dict[tuple, int] = {}
+        self.params_id = np.array(
+            [interned.setdefault(key, len(interned)) for key in keys], dtype=np.int64
+        )
+        self.link_rate = np.array([p.link_rate_bps for p in params], dtype=float)
+        self.buffer_cap = np.array([p.buffer_capacity_bits for p in params], dtype=float)
+        self.loss_rate = np.array([p.loss_rate for p in params], dtype=float)
+        self.cross_rate_pps = np.array([p.cross_rate_pps for p in params], dtype=float)
+        self.cross_packet_bits = np.array([p.cross_packet_bits for p in params], dtype=float)
+        self.mtts = np.array(
+            [np.nan if p.mean_time_to_switch is None else p.mean_time_to_switch for p in params],
+            dtype=float,
+        )
+        self.has_cross = np.array([p.has_cross_traffic for p in params], dtype=bool)
+        # Constants reused by the batched likelihood: computed with the same
+        # scalar arithmetic Hypothesis.score uses, so contributions match
+        # bit for bit.
+        survival = [1.0 - p.loss_rate for p in params]
+        self.survival = np.array(survival, dtype=float)
+        self.log_survival = np.array(
+            [math.log(s) if s > 0.0 else -math.inf for s in survival], dtype=float
+        )
+        self.log_loss = np.array(
+            [math.log(p.loss_rate) if p.loss_rate > 0.0 else -math.inf for p in params],
+            dtype=float,
+        )
+
+        self.gate_on = np.array([s["gate_on"] for s in states], dtype=bool)
+        self.next_cross_time = np.array([s["next_cross_time"] for s in states], dtype=float)
+        self.next_cross_seq = np.array([s["next_cross_seq"] for s in states], dtype=np.int64)
+
+        in_service = [s["in_service"] for s in states]
+        self.svc_active = np.array([entry is not None for entry in in_service], dtype=bool)
+        self.svc_flow = np.array(
+            [_FLOW_CODES[entry[0]] if entry is not None else -1 for entry in in_service],
+            dtype=np.int8,
+        )
+        self.svc_seq = np.array(
+            [entry[1] if entry is not None else 0 for entry in in_service], dtype=np.int64
+        )
+        self.svc_size = np.array(
+            [entry[2] if entry is not None else 0.0 for entry in in_service], dtype=float
+        )
+        self.svc_completion = np.array([s["service_completion"] for s in states], dtype=float)
+
+        queues = [s["queue"] for s in states]
+        capacity = max(_MIN_QUEUE_CAPACITY, max((len(q) for q in queues), default=0) + 2)
+        self.q_flow = np.zeros((size, capacity), dtype=np.int8)
+        self.q_seq = np.zeros((size, capacity), dtype=np.int64)
+        self.q_size = np.zeros((size, capacity), dtype=float)
+        self.q_len = np.zeros(size, dtype=np.int64)
+        for row, queue in enumerate(queues):
+            self.q_len[row] = len(queue)
+            for slot, (flow, seq, bits) in enumerate(queue):
+                self.q_flow[row, slot] = _FLOW_CODES[flow]
+                self.q_seq[row, slot] = seq
+                self.q_size[row, slot] = bits
+        self.queue_bits = np.array([s["queue_bits"] for s in states], dtype=float)
+
+        # Own-packet ledger: the union of every row's sequence numbers.  For
+        # lockstep ensembles the rows agree; the union keeps hand-built
+        # mixtures working too.
+        seq_to_time: dict[int, float] = {}
+        for state in states:
+            for seq, sent_at in state["own_sent"].items():
+                seq_to_time.setdefault(seq, sent_at)
+        ordered = sorted(seq_to_time)
+        count = len(ordered)
+        ledger_cap = max(_MIN_LEDGER_CAPACITY, count)
+        self.own_seqs = np.zeros(ledger_cap, dtype=np.int64)
+        self.own_sent_times = np.zeros(ledger_cap, dtype=float)
+        self.own_seqs[:count] = ordered
+        self.own_sent_times[:count] = [seq_to_time[seq] for seq in ordered]
+        self.n_own = count
+        self.pred_state = np.zeros((size, ledger_cap), dtype=np.int8)
+        self.pred_time = np.zeros((size, ledger_cap), dtype=float)
+        self.resolved = np.zeros((size, ledger_cap), dtype=bool)
+        self.lost = np.zeros((size, ledger_cap), dtype=bool)
+        col_of = {seq: col for col, seq in enumerate(ordered)}
+        for row, state in enumerate(states):
+            for seq, kind, pred_time, _survival in state["predictions"]:
+                col = col_of[seq]
+                self.pred_state[row, col] = (
+                    PRED_DELIVERED if kind == "delivered" else PRED_DROPPED
+                )
+                self.pred_time[row, col] = pred_time
+            for seq in state["resolved"]:
+                if seq in col_of:
+                    self.resolved[row, col_of[seq]] = True
+            for seq in state["lost"]:
+                if seq in col_of:
+                    self.lost[row, col_of[seq]] = True
+        return self
+
+    # --------------------------------------------------------------- gathering
+
+    def select(self, indices: np.ndarray) -> "EnsembleState":
+        """A new state holding ``indices``' rows (in that order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out = EnsembleState.__new__(EnsembleState)
+        out.size = int(indices.size)
+        out.time = self.time
+        for name in _ROW_FIELDS + _QUEUE_FIELDS + _LEDGER_FIELDS:
+            setattr(out, name, getattr(self, name)[indices])
+        out.own_seqs = self.own_seqs.copy()
+        out.own_sent_times = self.own_sent_times.copy()
+        out.n_own = self.n_own
+        return out
+
+    def interleave(
+        self,
+        other: "EnsembleState",
+        self_positions: np.ndarray,
+        other_positions: np.ndarray,
+    ) -> "EnsembleState":
+        """Scatter ``self``'s and ``other``'s rows into one combined state.
+
+        ``self_positions`` / ``other_positions`` give each row's slot in the
+        output (a permutation of ``0 .. size(self)+size(other)``).  This is
+        ``concat`` + ``select`` fused into a single scatter — one write per
+        buffer instead of a copy and a gather — used on the forking hot path
+        where the output order must match the scalar update's interleaved
+        branch order.
+        """
+        if other.n_own != self.n_own or not np.array_equal(
+            other.own_seqs[: other.n_own], self.own_seqs[: self.n_own]
+        ):
+            raise InferenceError("cannot interleave ensembles with different ledgers")
+        total = self.size + other.size
+        queue_cap = max(self.q_flow.shape[1], other.q_flow.shape[1])
+        ledger_cap = max(self.pred_state.shape[1], other.pred_state.shape[1])
+        out = EnsembleState.__new__(EnsembleState)
+        out.size = total
+        out.time = self.time
+
+        def scatter(name: str, width: int | None = None) -> None:
+            first = getattr(self, name)
+            second = getattr(other, name)
+            if width is None:
+                combined = np.empty(total, dtype=first.dtype)
+                combined[self_positions] = first
+                combined[other_positions] = second
+            else:
+                # Zero-fill keeps the canonical padding past q_len / n_own.
+                combined = np.zeros((total, width), dtype=first.dtype)
+                combined[self_positions, : first.shape[1]] = first
+                combined[other_positions, : second.shape[1]] = second
+            setattr(out, name, combined)
+
+        for name in _ROW_FIELDS:
+            scatter(name)
+        for name in _QUEUE_FIELDS:
+            scatter(name, queue_cap)
+        for name in _LEDGER_FIELDS:
+            scatter(name, ledger_cap)
+        out.own_seqs = _pad_columns(self.own_seqs[None, :], ledger_cap)[0]
+        out.own_sent_times = _pad_columns(self.own_sent_times[None, :], ledger_cap)[0]
+        out.n_own = self.n_own
+        return out
+
+    # ---------------------------------------------------------------- capacity
+
+    def ensure_queue_capacity(self, needed: int) -> None:
+        """Grow the queue buffers so every row can hold ``needed`` packets."""
+        capacity = self.q_flow.shape[1]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, capacity * 2)
+        self.q_flow = _pad_columns(self.q_flow, new_capacity)
+        self.q_seq = _pad_columns(self.q_seq, new_capacity)
+        self.q_size = _pad_columns(self.q_size, new_capacity)
+
+    def register_own_seq(self, seq: int, sent_at: float) -> int:
+        """Add (or refresh) a ledger column for ``seq``; returns its index."""
+        pos = int(np.searchsorted(self.own_seqs[: self.n_own], seq))
+        if pos < self.n_own and self.own_seqs[pos] == seq:
+            self.own_sent_times[pos] = sent_at
+            return pos
+        capacity = self.pred_state.shape[1]
+        if self.n_own + 1 > capacity:
+            new_capacity = max(self.n_own + 1, capacity * 2)
+            self.own_seqs = _pad_columns(self.own_seqs[None, :], new_capacity)[0]
+            self.own_sent_times = _pad_columns(self.own_sent_times[None, :], new_capacity)[0]
+            self.pred_state = _pad_columns(self.pred_state, new_capacity)
+            self.pred_time = _pad_columns(self.pred_time, new_capacity)
+            self.resolved = _pad_columns(self.resolved, new_capacity)
+            self.lost = _pad_columns(self.lost, new_capacity)
+        if pos < self.n_own:
+            # Out-of-order sequence number: shift the tail columns right.
+            stop = self.n_own
+            self.own_seqs[pos + 1 : stop + 1] = self.own_seqs[pos:stop].copy()
+            self.own_sent_times[pos + 1 : stop + 1] = self.own_sent_times[pos:stop].copy()
+            for name in ("pred_state", "pred_time", "resolved", "lost"):
+                array = getattr(self, name)
+                array[:, pos + 1 : stop + 1] = array[:, pos:stop].copy()
+        self.own_seqs[pos] = seq
+        self.own_sent_times[pos] = sent_at
+        self.pred_state[:, pos] = PRED_NONE
+        self.pred_time[:, pos] = 0.0
+        self.resolved[:, pos] = False
+        self.lost[:, pos] = False
+        self.n_own += 1
+        return pos
+
+    def column_of(self, seq: int) -> int | None:
+        """The ledger column of ``seq``, or ``None`` if never transmitted."""
+        pos = int(np.searchsorted(self.own_seqs[: self.n_own], seq))
+        if pos < self.n_own and self.own_seqs[pos] == seq:
+            return pos
+        return None
+
+    def lookup_columns(self, seqs: np.ndarray) -> np.ndarray:
+        """Ledger columns of registered sequence numbers (must all exist)."""
+        return np.searchsorted(self.own_seqs[: self.n_own], seqs)
+
+    # ----------------------------------------------------------------- digests
+
+    def signature_digest(self, rows: np.ndarray) -> list[bytes]:
+        """One opaque ``bytes`` digest per row, for belief compaction.
+
+        Two rows receive the same digest exactly when the scalar
+        ``Hypothesis.signature`` tuples would compare equal: same parameter
+        assignment (interned id), gate state, rounded queued bits, queue
+        contents ``(flow, seq)`` in order, in-service packet with rounded
+        completion, rounded next cross arrival, and charged-lost set.  The
+        queue buffers are kept canonically zero-padded past ``q_len`` (the
+        engine clears vacated slots), so the padded columns can be hashed
+        wholesale; ``q_len`` itself is part of the digest, which keeps a
+        zero-valued real cell distinct from padding.
+        """
+        length = int(self.q_len[rows].max()) if rows.size else 0
+        parts = [
+            self.params_id[rows],
+            self.gate_on[rows],
+            _python_round(self.queue_bits[rows], 3),
+            self.q_len[rows],
+            self.q_flow[rows, :length],
+            self.q_seq[rows, :length],
+            self.svc_active[rows],
+            self.svc_flow[rows],
+            self.svc_seq[rows],
+            _python_round(self.svc_completion[rows], 6),
+            _python_round(self.next_cross_time[rows], 6),
+            self.lost[rows, : self.n_own],
+        ]
+        flat = [
+            np.ascontiguousarray(part).view(np.uint8).reshape(rows.size, -1)
+            for part in (p[:, None] if p.ndim == 1 else p for p in parts)
+            if part.size
+        ]
+        packed = np.concatenate(flat, axis=1)
+        return [row.tobytes() for row in packed]
+
+    # ----------------------------------------------------------- materialization
+
+    def materialize(self, row: int) -> Hypothesis:
+        """Rebuild one row as an ordinary scalar :class:`Hypothesis`.
+
+        Predictions are emitted in chronological order; the scalar path
+        builds them in event order, which is the same thing (dict equality is
+        order-insensitive either way).
+        """
+        n = self.n_own
+        seqs = self.own_seqs[:n].tolist()
+        states = self.pred_state[row, :n].tolist()
+        times = self.pred_time[row, :n].tolist()
+        survival = float(self.survival[row])
+        predictions = []
+        for col, state in enumerate(states):
+            if state == PRED_NONE:
+                continue
+            if state == PRED_DELIVERED:
+                predictions.append((seqs[col], "delivered", times[col], survival))
+            else:
+                predictions.append((seqs[col], "dropped", times[col], 0.0))
+        predictions.sort(key=lambda entry: (entry[2], entry[0]))
+
+        length = int(self.q_len[row])
+        queue = [
+            (
+                _FLOW_NAMES[int(self.q_flow[row, slot])],
+                int(self.q_seq[row, slot]),
+                float(self.q_size[row, slot]),
+            )
+            for slot in range(length)
+        ]
+        in_service = None
+        if self.svc_active[row]:
+            in_service = (
+                _FLOW_NAMES[int(self.svc_flow[row])],
+                int(self.svc_seq[row]),
+                float(self.svc_size[row]),
+            )
+        resolved_row = self.resolved[row, :n]
+        lost_row = self.lost[row, :n]
+        state = {
+            "time": self.time,
+            "gate_on": bool(self.gate_on[row]),
+            "next_cross_time": float(self.next_cross_time[row]),
+            "next_cross_seq": int(self.next_cross_seq[row]),
+            "queue": queue,
+            "queue_bits": float(self.queue_bits[row]),
+            "in_service": in_service,
+            "service_completion": float(self.svc_completion[row]),
+            "predictions": predictions,
+            "own_sent": {
+                seqs[col]: float(self.own_sent_times[col]) for col in range(n)
+            },
+            "resolved": [seqs[col] for col in np.nonzero(resolved_row)[0].tolist()],
+            "lost": [seqs[col] for col in np.nonzero(lost_row)[0].tolist()],
+        }
+        return Hypothesis.from_state(
+            self.params_dicts[row], self.model_params[row], state
+        )
+
+    # ----------------------------------------------------------------- helpers
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EnsembleState(size={self.size}, t={self.time:.3f}, own={self.n_own})"
+
+
+def _python_round(values: np.ndarray, digits: int) -> np.ndarray:
+    """Element-wise built-in ``round`` (correct decimal rounding), fast.
+
+    ``np.round`` scales by ``10**digits``, rints, and divides back, which
+    disagrees with Python's correctly-rounded ``round`` when the scaled
+    value lands within the scaling's floating-point error of a halfway
+    point.  The compaction digest must group rows exactly as the scalar
+    ``Hypothesis.signature`` — which uses ``round`` — does, so elements
+    inside a conservatively wide band around the halfway points are
+    re-rounded with the built-in; everything else keeps the (identical)
+    ``np.round`` result.  Outside the band both computations reduce to
+    "nearest integer ``n``, then the correctly-rounded ``n / 10**digits``",
+    which is bit-identical.  ``inf`` passes through unchanged (its band
+    test is NaN, i.e. not risky), as with ``round``.
+    """
+    out = np.round(values, digits)
+    scaled = values * (10.0**digits)
+    with np.errstate(invalid="ignore"):
+        near_half = np.abs(scaled - np.floor(scaled) - 0.5) < 1e-6
+    if near_half.any():
+        risky = np.nonzero(near_half)[0]
+        out[risky] = [round(value, digits) for value in values[risky].tolist()]
+    return out
+
+
+def _object_array(items: Sequence) -> np.ndarray:
+    """A 1D object ndarray over ``items`` (kept 1D even for tuple elements)."""
+    array = np.empty(len(items), dtype=object)
+    for index, item in enumerate(items):
+        array[index] = item
+    return array
+
+
+def _pad_columns(array: np.ndarray, width: int) -> np.ndarray:
+    """Zero-pad a 1D/2D array's last axis out to ``width`` columns."""
+    current = array.shape[-1]
+    if current >= width:
+        return array
+    pad = [(0, 0)] * (array.ndim - 1) + [(0, width - current)]
+    return np.pad(array, pad)

@@ -183,9 +183,12 @@ def inference_ablation_point(
     max_hypotheses: int = 200,
     top_k: int = 16,
     use_policy_cache: bool = False,
+    backend: str = "scalar",
 ) -> dict[str, float]:
     """One configuration of the inference-approximation ablation."""
-    label = f"{kernel}/{max_hypotheses}hyp/top{top_k}" + ("/cache" if use_policy_cache else "")
+    label = f"{kernel}/{max_hypotheses}hyp/top{top_k}/{backend}" + (
+        "/cache" if use_policy_cache else ""
+    )
     outcome = run_ablation_config(
         AblationConfig(
             label=label,
@@ -194,6 +197,7 @@ def inference_ablation_point(
             max_hypotheses=max_hypotheses,
             top_k=top_k,
             use_policy_cache=use_policy_cache,
+            backend=backend,
         ),
         duration=duration,
         seed=seed,

@@ -153,8 +153,9 @@ class Simulator:
         ----------
         until:
             Stop once the clock would advance strictly beyond this time.  The
-            clock is left at ``until`` if it is reached.  ``None`` runs until
-            the queue drains.
+            clock is left at ``until`` if every event up to ``until`` was
+            actually processed (queue drained or next event lies beyond it).
+            ``None`` runs until the queue drains.
         max_events:
             Optional hard cap on the number of events fired by this call,
             useful as a runaway guard in tests.
@@ -168,20 +169,25 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         fired = 0
+        exhausted = False
         try:
             while True:
-                if max_events is not None and fired >= max_events:
-                    break
                 next_time = self.peek_time()
-                if next_time is None:
+                if next_time is None or (until is not None and next_time > until):
+                    # Every event at or before `until` has been processed.
+                    exhausted = True
                     break
-                if until is not None and next_time > until:
+                if max_events is not None and fired >= max_events:
                     break
                 self.step()
                 fired += 1
         finally:
             self._running = False
-        if until is not None and until > self._now:
+        # Fast-forward the clock only when the queue was genuinely drained or
+        # exhausted up to `until`; a max_events stop leaves events pending at
+        # or before `until`, and jumping past them would let a later run()
+        # fire them "in the past".
+        if exhausted and until is not None and until > self._now:
             self._now = until
         return fired
 

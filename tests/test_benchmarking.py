@@ -1,0 +1,128 @@
+"""Tests for the canonical BENCH_*.json records and the compare.py gate."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.benchmarking import BenchRecord, update_bench_record
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+COMPARE = REPO_ROOT / "benchmarks" / "compare.py"
+
+
+def make_record(tmp_path, wall_time=1.0, speedup=6.0):
+    record = BenchRecord(name="inference")
+    record.record("scalar_512", {"wall_time_s": wall_time * speedup})
+    record.record(
+        "vectorized_512",
+        {"wall_time_s": wall_time, "speedup_vs_scalar": speedup},
+        meta={"backend": "vectorized"},
+    )
+    record.gate("vectorized_512", "speedup_vs_scalar", minimum=5.0)
+    path = tmp_path / "BENCH_inference.json"
+    record.write(path)
+    return record, path
+
+
+class TestBenchRecord:
+    def test_roundtrip_is_canonical(self, tmp_path):
+        _, path = make_record(tmp_path)
+        first = path.read_text()
+        BenchRecord.load(path).write(path)
+        assert path.read_text() == first
+        payload = json.loads(first)
+        assert payload["schema"] == 1
+        assert payload["name"] == "inference"
+
+    def test_gates_pass_and_fail(self, tmp_path):
+        record, _ = make_record(tmp_path, speedup=6.0)
+        assert record.check_gates() == []
+        slow, _ = make_record(tmp_path, speedup=3.0)
+        failures = slow.check_gates()
+        assert len(failures) == 1
+        assert "speedup_vs_scalar" in failures[0].message
+
+    def test_missing_gated_metric_fails(self):
+        record = BenchRecord(name="x")
+        record.gate("absent", "wall_time_s", maximum=1.0)
+        failures = record.check_gates()
+        assert failures and "missing" in failures[0].message
+
+    def test_regression_detection(self, tmp_path):
+        baseline, _ = make_record(tmp_path, wall_time=1.0)
+        same, _ = make_record(tmp_path, wall_time=1.1)
+        slower, _ = make_record(tmp_path, wall_time=2.0)
+        assert same.check_regressions(baseline, max_regression=0.25) == []
+        failures = slower.check_regressions(baseline, max_regression=0.25)
+        assert failures and "exceeds baseline" in failures[0].message
+
+    def test_new_entries_are_not_regressions(self, tmp_path):
+        baseline = BenchRecord(name="inference")
+        current, _ = make_record(tmp_path)
+        assert current.check_regressions(baseline) == []
+
+    def test_update_merges_entries(self, tmp_path):
+        path = tmp_path / "BENCH_merge.json"
+        update_bench_record(path, "merge", {"a": ({"wall_time_s": 1.0}, None)})
+        update_bench_record(
+            path,
+            "merge",
+            {"b": ({"wall_time_s": 2.0}, {"note": "second"})},
+            gates={"b.wall_time_s": {"max": 3.0}},
+        )
+        merged = BenchRecord.load(path)
+        assert set(merged.entries) == {"a", "b"}
+        assert merged.check_gates() == []
+
+
+class TestCompareCli:
+    def run_compare(self, *args):
+        return subprocess.run(
+            [sys.executable, str(COMPARE), *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+
+    def test_passing_record_exits_zero(self, tmp_path):
+        _, path = make_record(tmp_path)
+        result = self.run_compare(str(path))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "OK" in result.stdout
+
+    def test_gate_failure_exits_one(self, tmp_path):
+        _, path = make_record(tmp_path, speedup=2.0)
+        result = self.run_compare(str(path))
+        assert result.returncode == 1
+        assert "FAIL" in result.stdout
+
+    def test_baseline_regression_exits_one(self, tmp_path):
+        # make_record always writes BENCH_inference.json, so keep the
+        # baseline and the slow run in separate directories.
+        base_dir, slow_dir = tmp_path / "base", tmp_path / "slow"
+        base_dir.mkdir()
+        slow_dir.mkdir()
+        _, base_path = make_record(base_dir, wall_time=1.0)
+        _, slow_path = make_record(slow_dir, wall_time=2.0)
+        result = self.run_compare(
+            str(slow_path), "--baseline", str(base_path), "--max-regression", "0.25"
+        )
+        assert result.returncode == 1
+        assert "regression" in result.stdout
+
+    def test_missing_record_exits_two(self, tmp_path):
+        result = self.run_compare(str(tmp_path / "nope.json"))
+        assert result.returncode == 2
+
+    @pytest.mark.skipif(
+        not (REPO_ROOT / "BENCH_inference.json").exists(),
+        reason="BENCH_inference.json not generated yet (run pytest -m bench)",
+    )
+    def test_repo_record_passes_its_gates(self):
+        result = self.run_compare("BENCH_inference.json")
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,427 @@
+"""Scalar ↔ vectorized belief-backend equivalence suite.
+
+Every test drives both backends through *identical* send/acknowledgement
+sequences and compares the resulting posteriors, MAP estimates, marginals,
+and bookkeeping counters.  The two implementations are designed to apply
+the same float operations in the same order, so the assertions here are
+mostly exact; where a documented tolerance applies (transcendental calls),
+``approx`` with ``abs=1e-9`` is used.
+
+Covered regimes: plain convergence, gate forking + compaction merges,
+degenerate updates (keep and raise policies), prune-at-cap, missing-ack
+loss charging, charged-lost contradictions, and a property-style sweep over
+randomized acknowledgement timings.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DegenerateBeliefError, InferenceError
+from repro.inference import (
+    AckObservation,
+    BeliefState,
+    ExactMatchKernel,
+    GaussianKernel,
+    Hypothesis,
+    figure3_prior,
+    single_link_prior,
+)
+from repro.inference.vectorized import VectorizedBeliefState
+
+
+def both_backends(prior, **kwargs):
+    """One scalar and one vectorized belief over the same prior."""
+    scalar = BeliefState.from_prior(prior, backend="scalar", **kwargs)
+    vectorized = BeliefState.from_prior(prior, backend="vectorized", **kwargs)
+    return scalar, vectorized
+
+
+def replay(belief, events):
+    for kind, args in events:
+        if kind == "send":
+            belief.record_send(*args)
+        else:
+            belief.update(*args)
+    return belief
+
+
+def assert_equivalent(scalar, vectorized, weight_tolerance=1e-9):
+    """Posteriors, MAP, marginals, and counters agree across backends."""
+    assert len(scalar) == len(vectorized)
+    assert scalar.updates_applied == vectorized.updates_applied
+    assert scalar.degenerate_updates == vectorized.degenerate_updates
+    assert scalar.compacted_away == vectorized.compacted_away
+    assert scalar.acked_seqs == vectorized.acked_seqs
+
+    for expected, actual in zip(scalar.weights, vectorized.weights):
+        assert actual == pytest.approx(expected, abs=weight_tolerance)
+
+    assert scalar.map_estimate().params == vectorized.map_estimate().params
+
+    for parameter in ("link_rate_bps",):
+        expected = scalar.posterior_marginal(parameter)
+        actual = vectorized.posterior_marginal(parameter)
+        assert set(expected) == set(actual)
+        for value in expected:
+            assert actual[value] == pytest.approx(expected[value], abs=weight_tolerance)
+        assert vectorized.posterior_mean(parameter) == pytest.approx(
+            scalar.posterior_mean(parameter), abs=1e-6
+        )
+
+    assert vectorized.effective_sample_size() == pytest.approx(
+        scalar.effective_sample_size(), rel=1e-9
+    )
+    assert vectorized.entropy() == pytest.approx(scalar.entropy(), abs=1e-9)
+
+    # The ensembles hold the same latent states, hypothesis for hypothesis.
+    for (s_hyp, s_w), (v_hyp, v_w) in zip(scalar.top(len(scalar)), vectorized.top(len(vectorized))):
+        assert s_hyp.params == v_hyp.params
+        assert s_hyp.signature() == v_hyp.signature()
+        assert v_w == pytest.approx(s_w, abs=weight_tolerance)
+
+
+def ack(seq, at):
+    return AckObservation(seq=seq, received_at=at, ack_at=at)
+
+
+class TestBackendSelection:
+    def test_from_prior_backend_switch(self):
+        prior = single_link_prior()
+        assert type(BeliefState.from_prior(prior)) is BeliefState
+        assert type(BeliefState.from_prior(prior, backend="scalar")) is BeliefState
+        assert (
+            type(BeliefState.from_prior(prior, backend="vectorized"))
+            is VectorizedBeliefState
+        )
+
+    def test_backend_attribute(self):
+        prior = single_link_prior()
+        assert BeliefState.from_prior(prior).backend == "scalar"
+        assert BeliefState.from_prior(prior, backend="vectorized").backend == "vectorized"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InferenceError):
+            BeliefState.from_prior(single_link_prior(), backend="quantum")
+
+    def test_vectorized_requires_lockstep_clocks(self):
+        early = Hypothesis.from_params(
+            {"link_rate_bps": 12_000.0, "buffer_capacity_bits": 96_000.0}
+        )
+        late = Hypothesis.from_params(
+            {"link_rate_bps": 12_000.0, "buffer_capacity_bits": 96_000.0},
+            start_time=3.0,
+        )
+        with pytest.raises(InferenceError):
+            VectorizedBeliefState([early, late])
+
+
+class TestSimpleConvergence:
+    EVENTS = [
+        ("send", (0, 12_000.0, 0.0)),
+        ("update", (1.0, [ack(0, 1.0)])),
+        ("send", (1, 12_000.0, 1.1)),
+        ("update", (2.2, [ack(1, 2.1)])),
+        ("update", (4.0, [])),
+    ]
+
+    def test_exact_kernel(self):
+        scalar, vectorized = both_backends(
+            single_link_prior(), kernel=ExactMatchKernel(tolerance=1e-6)
+        )
+        replay(scalar, self.EVENTS)
+        replay(vectorized, self.EVENTS)
+        assert_equivalent(scalar, vectorized)
+        assert vectorized.posterior_marginal("link_rate_bps")[12_000.0] == pytest.approx(1.0)
+
+    def test_gaussian_kernel(self):
+        scalar, vectorized = both_backends(
+            single_link_prior(), kernel=GaussianKernel(sigma=0.4)
+        )
+        replay(scalar, self.EVENTS)
+        replay(vectorized, self.EVENTS)
+        assert_equivalent(scalar, vectorized)
+
+
+class TestForkingAndCompaction:
+    def test_forking_prior_stays_equivalent(self):
+        # mean_time_to_switch is set in figure3_prior, so every update forks;
+        # repeated short updates let forked branches drain back into identical
+        # latent states, which exercises the compaction merge.
+        events = [
+            ("send", (0, 12_000.0, 0.0)),
+            ("update", (1.0, [ack(0, 1.0)])),
+            ("send", (1, 12_000.0, 1.2)),
+            ("update", (2.5, [ack(1, 2.2)])),
+            ("update", (6.0, [])),
+            ("update", (9.0, [])),
+            ("send", (2, 12_000.0, 9.5)),
+            ("update", (30.0, [])),
+        ]
+        scalar, vectorized = both_backends(
+            figure3_prior(), kernel=GaussianKernel(sigma=0.4), max_hypotheses=128
+        )
+        replay(scalar, events)
+        replay(vectorized, events)
+        assert scalar.compacted_away > 0
+        assert_equivalent(scalar, vectorized)
+
+    def test_identical_hypotheses_compact_identically(self):
+        params = {
+            "link_rate_bps": 12_000.0,
+            "buffer_capacity_bits": 96_000.0,
+            "loss_rate": 0.0,
+            "cross_rate_pps": 0.7,
+            "mean_time_to_switch": 100.0,
+        }
+        def build(cls):
+            return cls(
+                [Hypothesis.from_params(params), Hypothesis.from_params(params)],
+                kernel=GaussianKernel(sigma=0.5),
+            )
+        scalar = build(BeliefState)
+        vectorized = build(VectorizedBeliefState)
+        scalar.update(1.0, [])
+        vectorized.update(1.0, [])
+        assert scalar.compacted_away >= 1
+        assert_equivalent(scalar, vectorized)
+
+
+class TestPruneAtCap:
+    def test_tiny_cap_keeps_the_same_survivors(self):
+        events = [
+            ("send", (0, 12_000.0, 0.0)),
+            ("update", (1.0, [ack(0, 1.0)])),
+            ("update", (5.0, [])),
+            ("update", (12.0, [])),
+        ]
+        scalar, vectorized = both_backends(
+            figure3_prior(), kernel=GaussianKernel(sigma=0.6), max_hypotheses=7
+        )
+        replay(scalar, events)
+        replay(vectorized, events)
+        assert len(scalar) <= 7
+        assert_equivalent(scalar, vectorized)
+
+
+class TestDegenerateUpdates:
+    def test_keep_policy(self):
+        # An acknowledgement far earlier than any hypothesis can explain.
+        events = [
+            ("send", (0, 12_000.0, 0.0)),
+            ("update", (0.2, [ack(0, 0.2)])),
+            ("update", (3.0, [])),
+        ]
+        scalar, vectorized = both_backends(
+            single_link_prior(), kernel=ExactMatchKernel(tolerance=1e-6), on_degenerate="keep"
+        )
+        replay(scalar, events)
+        replay(vectorized, events)
+        assert scalar.degenerate_updates >= 1
+        assert_equivalent(scalar, vectorized)
+
+    def test_raise_policy(self):
+        scalar, vectorized = both_backends(
+            single_link_prior(), kernel=ExactMatchKernel(tolerance=1e-6), on_degenerate="raise"
+        )
+        for belief in (scalar, vectorized):
+            belief.record_send(0, 12_000.0, 0.0)
+            with pytest.raises(DegenerateBeliefError):
+                belief.update(0.2, [ack(0, 0.2)])
+
+
+class TestLossCharging:
+    def test_missing_acks_charged_to_loss(self):
+        # loss_rate > 0 hypotheses charge unacknowledged packets to loss;
+        # zero-loss hypotheses are rejected.
+        events = [
+            ("send", (0, 12_000.0, 0.0)),
+            ("send", (1, 12_000.0, 0.1)),
+            ("update", (20.0, [])),
+        ]
+        scalar, vectorized = both_backends(
+            figure3_prior(loss_points=3), kernel=GaussianKernel(sigma=0.4)
+        )
+        replay(scalar, events)
+        replay(vectorized, events)
+        assert_equivalent(scalar, vectorized)
+        # Every surviving hypothesis carries positive loss.
+        for hypothesis, weight in vectorized.top(5):
+            if weight > 0:
+                assert hypothesis.params["loss_rate"] > 0.0
+
+    def test_late_ack_contradicts_charged_loss(self):
+        events = [
+            ("send", (0, 12_000.0, 0.0)),
+            ("update", (20.0, [])),           # charge packet 0 as lost
+            ("update", (21.0, [ack(0, 20.5)])),  # ...then it arrives anyway
+        ]
+        scalar, vectorized = both_backends(
+            figure3_prior(loss_points=3),
+            kernel=GaussianKernel(sigma=0.4),
+            on_degenerate="keep",
+        )
+        replay(scalar, events)
+        replay(vectorized, events)
+        assert scalar.degenerate_updates == vectorized.degenerate_updates
+        assert_equivalent(scalar, vectorized)
+
+    def test_missing_grace_delays_charging(self):
+        events = [
+            ("send", (0, 12_000.0, 0.0)),
+            ("update", (1.3, [])),
+        ]
+        scalar, vectorized = both_backends(
+            single_link_prior(loss_rate=0.2),
+            kernel=GaussianKernel(sigma=0.4),
+            missing_grace=1.0,
+        )
+        replay(scalar, events)
+        replay(vectorized, events)
+        assert_equivalent(scalar, vectorized)
+
+
+class TestMaterializedHypotheses:
+    def test_roundtrip_through_export_state(self):
+        vectorized = BeliefState.from_prior(
+            figure3_prior(), kernel=GaussianKernel(sigma=0.4), backend="vectorized"
+        )
+        replay(
+            vectorized,
+            [("send", (0, 12_000.0, 0.0)), ("update", (1.0, [ack(0, 1.0)]))],
+        )
+        for hypothesis, _ in vectorized.top(3):
+            # A materialized hypothesis survives another export/import cycle
+            # and keeps its latent-state digest.
+            clone = Hypothesis.from_state(
+                hypothesis.params, hypothesis.model.params, hypothesis.export_state()
+            )
+            assert clone.signature() == hypothesis.signature()
+
+    def test_materialized_rollout_matches_scalar(self):
+        events = [("send", (0, 12_000.0, 0.0)), ("update", (1.0, [ack(0, 1.0)]))]
+        scalar, vectorized = both_backends(
+            single_link_prior(), kernel=ExactMatchKernel(tolerance=1e-6)
+        )
+        replay(scalar, events)
+        replay(vectorized, events)
+        s_out = scalar.map_estimate().rollout(0.0, 5.0, 12_000.0)
+        v_out = vectorized.map_estimate().rollout(0.0, 5.0, 12_000.0)
+        assert v_out.hypothetical_delivered == s_out.hypothetical_delivered
+        assert v_out.hypothetical_delivery_time == pytest.approx(
+            s_out.hypothetical_delivery_time
+        )
+        assert v_out.own_deliveries == s_out.own_deliveries
+
+
+class TestSignatureRoundingParity:
+    def test_digest_rounding_matches_python_round(self):
+        # np.round and Python round disagree on a measurable fraction of
+        # near-halfway values; the compaction digest must follow the scalar
+        # Hypothesis.signature, which uses round().
+        import numpy as np
+
+        from repro.inference.vectorized.state import _python_round
+
+        adversarial = float.fromhex("0x1.797cc39ffd60fp-16")
+        values = np.array([adversarial, 1.0000005, 2.5e-7, math.inf, 12_000.125])
+        rounded = _python_round(values, 6)
+        for expected, actual in zip(values.tolist(), rounded.tolist()):
+            assert actual == round(expected, 6)
+
+    def test_digest_rounding_parity_randomized(self):
+        import numpy as np
+
+        from repro.inference.vectorized.state import _python_round
+
+        rng = np.random.default_rng(20260727)
+        # Mix magnitudes typical of the digest inputs (completions in
+        # seconds, queue bits) with values engineered to sit near halfway
+        # points after scaling.
+        values = np.concatenate(
+            [
+                rng.uniform(0.0, 60.0, 20_000),
+                rng.uniform(0.0, 200_000.0, 20_000),
+                (rng.integers(0, 10**8, 20_000) * 2 + 1) / 2e6,  # exact halves
+                (rng.integers(0, 10**8, 20_000) * 2 + 1) / 2e6
+                + rng.uniform(-1e-12, 1e-12, 20_000),
+            ]
+        )
+        for digits in (3, 6):
+            fast = _python_round(values, digits).tolist()
+            for value, actual in zip(values.tolist(), fast):
+                assert actual == round(value, digits), (value.hex(), digits)
+
+
+class TestPropertyStyle:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        offsets=st.lists(
+            st.floats(min_value=-0.4, max_value=0.6), min_size=1, max_size=4
+        ),
+        gap=st.floats(min_value=0.5, max_value=3.0),
+    )
+    def test_randomized_ack_timings_stay_equivalent(self, offsets, gap):
+        scalar, vectorized = both_backends(
+            figure3_prior(),
+            kernel=GaussianKernel(sigma=0.5),
+            max_hypotheses=64,
+            on_degenerate="keep",
+        )
+        now = 0.0
+        for seq, offset in enumerate(offsets):
+            send_at = now
+            for belief in (scalar, vectorized):
+                belief.record_send(seq, 12_000.0, send_at)
+            now = send_at + gap
+            observed = max(send_at + 1e-3, send_at + 1.0 + offset)
+            observations = [ack(seq, min(observed, now))]
+            scalar.update(now, observations)
+            vectorized.update(now, observations)
+            assert sum(vectorized.weights) == pytest.approx(1.0)
+        assert_equivalent(scalar, vectorized)
+
+
+class TestVectorizedSenderIntegration:
+    def test_isender_runs_on_vectorized_backend(self):
+        from repro.experiments.ablation import AblationConfig, run_ablation_config
+
+        scalar_outcome = run_ablation_config(
+            AblationConfig(label="scalar", backend="scalar"), duration=20.0
+        )
+        vector_outcome = run_ablation_config(
+            AblationConfig(label="vectorized", backend="vectorized"), duration=20.0
+        )
+        # The sender makes the same decisions on both inference backends.
+        assert vector_outcome.packets_sent == scalar_outcome.packets_sent
+        assert vector_outcome.final_hypotheses == scalar_outcome.final_hypotheses
+        assert vector_outcome.degenerate_updates == scalar_outcome.degenerate_updates
+        assert vector_outcome.posterior_true_link_rate == pytest.approx(
+            scalar_outcome.posterior_true_link_rate, abs=1e-9
+        )
+        assert vector_outcome.goodput_bps == pytest.approx(scalar_outcome.goodput_bps)
+
+
+class TestInferenceBenchWorkload:
+    def test_workload_is_deterministic_and_backends_agree(self):
+        from repro.experiments.inference_bench import (
+            InferenceBenchConfig,
+            build_workload,
+            run_backend,
+        )
+
+        config = InferenceBenchConfig(duration=6.0, max_hypotheses=96)
+        first = build_workload(config)
+        second = build_workload(config)
+        assert first == second
+
+        scalar = run_backend("scalar", config, first)
+        vectorized = run_backend("vectorized", config, first)
+        assert vectorized.final_hypotheses == scalar.final_hypotheses
+        assert vectorized.compacted_away == scalar.compacted_away
+        assert vectorized.map_link_rate_bps == scalar.map_link_rate_bps
+        for expected, actual in zip(scalar.weights, vectorized.weights):
+            assert actual == pytest.approx(expected, abs=1e-9)

@@ -174,6 +174,29 @@ class TestRunControl:
         sim.run(max_events=3)
         assert fired == [0, 1, 2]
 
+    def test_max_events_stop_does_not_fast_forward_clock(self, sim):
+        # Regression: run(until=..., max_events=...) used to jump the clock to
+        # `until` even when the event cap stopped the loop with events still
+        # pending at or before `until`; those events then appeared to fire in
+        # the simulated past.
+        fired = []
+        for index in range(5):
+            sim.schedule(float(index + 1), fired.append, index)
+        sim.run(until=10.0, max_events=2)
+        assert fired == [0, 1]
+        assert sim.now == pytest.approx(2.0)
+        # The remaining events are still schedulable-past-free and fire cleanly.
+        sim.run(until=10.0)
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.now == pytest.approx(10.0)
+
+    def test_max_events_exactly_draining_queue_reaches_until(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 0)
+        sim.run(until=4.0, max_events=5)
+        assert fired == [0]
+        assert sim.now == pytest.approx(4.0)
+
     def test_step_returns_false_on_empty_queue(self, sim):
         assert sim.step() is False
 
