@@ -1,0 +1,101 @@
+"""Benchmark: the planner's (action × hypothesis) rollout fan-out.
+
+Times repeated ``ExpectedUtilityPlanner.decide`` calls — ``top_k=24``
+hypotheses × the default 9-delay action grid, 216 rollouts per decision —
+on a loaded decision state (converged 512-hypothesis belief plus a queued
+send burst), once per rollout backend, and emits the ``BENCH_planner.json``
+regression record that ``benchmarks/compare.py`` gates on.
+
+The scalar backend clones and event-steps one ``LinkModel`` per lane; the
+vectorized backend advances every lane through one masked event frontier
+(``repro.inference.vectorized.rollout``).  The gate mirrors PR 2's
+inference gate: the batched engine must stay ≥5× the scalar oracle, and
+the two backends' expected utilities must agree to the documented 1e-9
+relative tolerance with an identical chosen action.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.planner_bench import PlannerBenchConfig, run_planner_comparison
+from repro.metrics.summary import ExperimentRow, format_table
+
+#: The acceptance floor for the batched rollout engine on the decide path.
+MIN_VECTORIZED_SPEEDUP = 5.0
+
+#: Documented cross-backend tolerance (relative) on expected utilities.
+MAX_UTILITY_DIVERGENCE = 1e-9
+
+
+def test_planner_rollout_speedup(table_printer, bench_record):
+    """Scalar vs. vectorized planner fan-out at top_k=24 × 9 actions."""
+    config = PlannerBenchConfig()
+    comparison = run_planner_comparison(config, rounds=3)
+    scalar, vectorized = comparison.scalar, comparison.vectorized
+
+    per_decide_ms = 1000.0 / config.decisions
+    rows = [
+        ExperimentRow(
+            label=result.rollout_backend,
+            values={
+                "wall_time (s)": result.wall_time_s,
+                "ms/decide": result.wall_time_s * per_decide_ms,
+                "rollouts": result.rollouts_performed,
+                "top_k": result.hypotheses_evaluated,
+            },
+        )
+        for result in (scalar, vectorized)
+    ]
+    table_printer(
+        format_table(
+            rows,
+            title=(
+                f"Planner fan-out at top_k={config.top_k} × default action grid "
+                f"(speedup {comparison.speedup:.1f}x)"
+            ),
+        )
+    )
+
+    bench_record(
+        "planner",
+        entries={
+            "scalar_topk24": (
+                {
+                    "wall_time_s": scalar.wall_time_s,
+                    "decisions": scalar.decisions,
+                    "rollouts": scalar.rollouts_performed,
+                },
+                {"rollout_backend": "scalar", "top_k": config.top_k},
+            ),
+            "vectorized_topk24": (
+                {
+                    "wall_time_s": vectorized.wall_time_s,
+                    "decisions": vectorized.decisions,
+                    "rollouts": vectorized.rollouts_performed,
+                    "speedup_vs_scalar": comparison.speedup,
+                    "max_utility_divergence": comparison.max_utility_divergence,
+                    "decisions_match": float(comparison.decisions_match),
+                },
+                {"rollout_backend": "vectorized", "top_k": config.top_k},
+            ),
+        },
+        gates={
+            "vectorized_topk24.speedup_vs_scalar": {"min": MIN_VECTORIZED_SPEEDUP},
+            "vectorized_topk24.max_utility_divergence": {"max": MAX_UTILITY_DIVERGENCE},
+            "vectorized_topk24.decisions_match": {"min": 1.0},
+        },
+    )
+
+    # Both backends evaluated the identical fan-out...
+    assert vectorized.rollouts_performed == scalar.rollouts_performed
+    assert vectorized.hypotheses_evaluated == scalar.hypotheses_evaluated == config.top_k
+    # ...agreed on the decision...
+    assert comparison.decisions_match, (
+        f"backends disagree: scalar delay {scalar.chosen_delay!r} "
+        f"vs vectorized {vectorized.chosen_delay!r}"
+    )
+    assert comparison.max_utility_divergence <= MAX_UTILITY_DIVERGENCE
+    # ...and the batched engine clears the tentpole speedup target.
+    assert comparison.speedup >= MIN_VECTORIZED_SPEEDUP, (
+        f"vectorized rollout only {comparison.speedup:.1f}x faster "
+        f"(target {MIN_VECTORIZED_SPEEDUP:.0f}x)"
+    )

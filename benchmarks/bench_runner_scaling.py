@@ -31,7 +31,7 @@ _USABLE_CPUS = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") 
 
 
 @pytest.mark.bench
-def test_runner_scaling_8_point_alpha_sweep(table_printer):
+def test_runner_scaling_8_point_alpha_sweep(table_printer, bench_record):
     specs = alpha_sweep_specs(
         alphas=BENCH_ALPHAS,
         duration=BENCH_DURATION,
@@ -75,6 +75,41 @@ def test_runner_scaling_8_point_alpha_sweep(table_printer):
 
     # Replay equivalence: the parallel artifact is byte-identical to serial.
     assert serial_store.to_json() == parallel_store.to_json()
+
+    # Canonical BENCH_runner.json record.  The ≥2.5× speedup gate only
+    # applies where the hardware can deliver it — on fewer than four usable
+    # cores the ratio is recorded but the gate is retracted (None), since
+    # forked workers then time-share one CPU and a gate written by an
+    # earlier many-core run would otherwise linger in the merged record.
+    gates = {
+        "parallel_8pt.replay_identical": {"min": 1.0},
+        "parallel_8pt.speedup_vs_serial": (
+            {"min": 2.5} if _USABLE_CPUS >= BENCH_WORKERS else None
+        ),
+    }
+    bench_record(
+        "runner",
+        entries={
+            "serial_8pt": (
+                {"wall_time_s": serial_elapsed, "points": len(serial_store), "workers": 1},
+                {"backend": "serial", "alphas": list(BENCH_ALPHAS)},
+            ),
+            "parallel_8pt": (
+                {
+                    "wall_time_s": parallel_elapsed,
+                    "points": len(parallel_store),
+                    "workers": BENCH_WORKERS,
+                    "speedup_vs_serial": speedup,
+                    "replay_identical": float(
+                        serial_store.to_json() == parallel_store.to_json()
+                    ),
+                    "usable_cpus": _USABLE_CPUS,
+                },
+                {"backend": "parallel", "alphas": list(BENCH_ALPHAS)},
+            ),
+        },
+        gates=gates,
+    )
 
     if _USABLE_CPUS >= BENCH_WORKERS:
         assert speedup >= 2.5, (

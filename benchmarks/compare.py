@@ -47,6 +47,16 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="allowed fractional slowdown vs. the baseline (default 0.25)",
     )
+    parser.add_argument(
+        "--min-baseline",
+        type=float,
+        default=None,
+        help=(
+            "skip regression checks for baseline wall times below this many "
+            "seconds (default: repro.benchmarking.MIN_COMPARABLE_BASELINE_S; "
+            "sub-threshold timings are noise across machines)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     baseline = None
@@ -66,9 +76,10 @@ def main(argv: list[str] | None = None) -> int:
         _print_failures("gate", gate_failures)
         regression_failures = []
         if baseline is not None:
-            regression_failures = record.check_regressions(
-                baseline, max_regression=args.max_regression
-            )
+            kwargs = {"max_regression": args.max_regression}
+            if args.min_baseline is not None:
+                kwargs["min_baseline"] = args.min_baseline
+            regression_failures = record.check_regressions(baseline, **kwargs)
             _print_failures("regression", regression_failures)
         if gate_failures or regression_failures:
             failed = True

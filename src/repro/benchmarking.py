@@ -29,6 +29,12 @@ SCHEMA_VERSION = 1
 #: Metric-name suffixes treated as "lower is better" by regression checks.
 TIME_METRIC_SUFFIXES = ("wall_time_s", "wall_time", "seconds", "_s")
 
+#: Baseline wall times below this are noise-dominated across heterogeneous
+#: machines (a hosted CI runner can be several times slower than the box
+#: that committed the baseline) and are skipped by regression checks; the
+#: machine-relative ratio gates still cover those entries.
+MIN_COMPARABLE_BASELINE_S = 0.05
+
 
 @dataclass
 class GateFailure:
@@ -129,13 +135,18 @@ class BenchRecord:
         return failures
 
     def check_regressions(
-        self, baseline: "BenchRecord", max_regression: float = 0.25
+        self,
+        baseline: "BenchRecord",
+        max_regression: float = 0.25,
+        min_baseline: float = MIN_COMPARABLE_BASELINE_S,
     ) -> list[GateFailure]:
         """Compare time-like metrics against ``baseline``.
 
         A metric regresses when it exceeds the baseline by more than
         ``max_regression`` (fractional).  Entries or metrics absent from the
-        baseline are skipped — new benchmarks are not regressions.
+        baseline are skipped — new benchmarks are not regressions — as are
+        baselines under ``min_baseline`` seconds, whose wall clocks don't
+        transfer between machines (their ratio gates remain in force).
         """
         failures: list[GateFailure] = []
         for label, entry in sorted(self.entries.items()):
@@ -148,6 +159,8 @@ class BenchRecord:
                     continue
                 base_value = base_metrics.get(metric)
                 if base_value is None or base_value <= 0:
+                    continue
+                if base_value < min_baseline:
                     continue
                 limit = base_value * (1.0 + max_regression)
                 if value > limit:
@@ -166,12 +179,14 @@ def update_bench_record(
     path: str | Path,
     name: str,
     entries: Mapping[str, tuple[Mapping[str, float], Optional[Mapping[str, object]]]],
-    gates: Optional[Mapping[str, Mapping[str, float]]] = None,
+    gates: Optional[Mapping[str, Optional[Mapping[str, float]]]] = None,
 ) -> BenchRecord:
     """Merge ``entries`` (and optional ``gates``) into the record at ``path``.
 
     Existing entries with other labels are preserved, so several benchmark
-    tests can contribute to one ``BENCH_*.json`` file.
+    tests can contribute to one ``BENCH_*.json`` file.  A gate mapped to
+    ``None`` is *retracted* from the merged record (hardware-conditional
+    gates use this to undo a gate written by a previous run).
     """
     path = Path(path)
     if path.exists():
@@ -191,6 +206,12 @@ def update_bench_record(
         record.record(label, metrics, meta)
     if gates:
         for target, condition in gates.items():
-            record.gates[target] = dict(condition)
+            if condition is None:
+                # Gates merge across runs, so a benchmark that stops
+                # emitting a gate (e.g. a hardware-dependent speedup floor)
+                # must be able to retract a stale one explicitly.
+                record.gates.pop(target, None)
+            else:
+                record.gates[target] = dict(condition)
     record.write(path)
     return record

@@ -184,11 +184,10 @@ class ISender(SourceElement):
         delay = decision.delay
         if delay <= 0.0:
             # The planner wanted to send but the per-wake budget is spent;
-            # re-evaluate one believed service time later.
-            delay = self.planner.packet_bits / max(
-                hypothesis.model.params.link_rate_bps
-                for hypothesis, _ in self.belief.top(1)
-            )
+            # re-evaluate one believed service time later.  (The MAP
+            # accessor avoids materializing a scalar Hypothesis when the
+            # belief backend is vectorized.)
+            delay = self.planner.packet_bits / self.belief.map_link_rate_bps()
         self._timer = self.sim.schedule(delay, self._wake)
         self.trace("sleep", delay=delay)
 

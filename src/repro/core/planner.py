@@ -6,6 +6,18 @@ the highest-weight hypotheses of the belief state, and chooses the action
 whose expected utility — the probability-weighted average over hypotheses —
 is largest.  Ties are broken toward the longer delay, so a sender that is
 indifferent does not flood the network.
+
+Two rollout backends implement the (action × hypothesis) fan-out:
+
+* ``"scalar"`` — the reference oracle: one
+  :meth:`~repro.inference.hypothesis.Hypothesis.rollout` (clone + advance a
+  scalar ``LinkModel``) per lane;
+* ``"vectorized"`` — the batched engine in
+  :mod:`repro.inference.vectorized.rollout`: all A×K lanes advance together
+  through one masked event frontier, and the utility values every lane at
+  once via ``evaluate_batch``.  When the belief backend is also vectorized,
+  the lanes are packed straight from ``EnsembleState`` rows, so the decide
+  path materializes no scalar ``Hypothesis`` objects at all.
 """
 
 from __future__ import annotations
@@ -18,6 +30,9 @@ from repro.core.utility import UtilityFunction
 from repro.errors import ConfigurationError
 from repro.inference.belief import BeliefState
 from repro.units import DEFAULT_PACKET_BITS
+
+#: Rollout backends the planner accepts.
+ROLLOUT_BACKENDS = ("scalar", "vectorized")
 
 
 @dataclass(slots=True)
@@ -38,6 +53,27 @@ class Decision:
     def send_now(self) -> bool:
         """Whether the chosen action is an immediate transmission."""
         return self.action.send_now
+
+
+@dataclass(slots=True)
+class _TopSummary:
+    """One pass over the top-k list: weights plus the planner's aggregates.
+
+    ``decide()`` used to walk the top-k hypotheses three times (total
+    weight, believed service time, horizon drain); this extracts the raw
+    ``(weight, link rate, drain time)`` triples in a single walk — shared
+    by both rollout backends — and derives the aggregates with arithmetic
+    identical to the original three walks.
+    """
+
+    weights: list[float]
+    total_weight: float
+    service_time: float
+    drain: float  # weighted mean drain time; 0.0 when a fixed horizon skips it
+
+    @property
+    def count(self) -> int:
+        return len(self.weights)
 
 
 class ExpectedUtilityPlanner:
@@ -62,6 +98,9 @@ class ExpectedUtilityPlanner:
     top_k:
         Number of highest-weight hypotheses to evaluate (the rest contribute
         negligibly and are skipped for speed).
+    rollout_backend:
+        ``"scalar"`` (per-lane ``Hypothesis.rollout``, the reference oracle)
+        or ``"vectorized"`` (the batched lane engine).
     """
 
     def __init__(
@@ -72,6 +111,7 @@ class ExpectedUtilityPlanner:
         horizon: Optional[float] = None,
         horizon_service_multiples: float = 12.0,
         top_k: int = 24,
+        rollout_backend: str = "scalar",
     ) -> None:
         if packet_bits <= 0:
             raise ConfigurationError(f"packet_bits must be positive, got {packet_bits!r}")
@@ -81,12 +121,18 @@ class ExpectedUtilityPlanner:
             raise ConfigurationError(f"horizon must be positive, got {horizon!r}")
         if horizon_service_multiples <= 0:
             raise ConfigurationError("horizon_service_multiples must be positive")
+        if rollout_backend not in ROLLOUT_BACKENDS:
+            raise ConfigurationError(
+                f"unknown rollout backend {rollout_backend!r}; "
+                f"expected one of {ROLLOUT_BACKENDS}"
+            )
         self.utility = utility
         self.action_grid = action_grid if action_grid is not None else ActionGrid()
         self.packet_bits = packet_bits
         self.horizon = horizon
         self.horizon_service_multiples = horizon_service_multiples
         self.top_k = top_k
+        self.rollout_backend = rollout_backend
         #: Number of rollouts performed so far (for ablation benchmarks).
         self.rollouts_performed = 0
 
@@ -94,14 +140,16 @@ class ExpectedUtilityPlanner:
 
     def decide(self, belief: BeliefState, now: float) -> Decision:
         """Return the utility-maximizing action at time ``now``."""
-        top = belief.top(self.top_k)
-        total_weight = sum(weight for _, weight in top)
-        if total_weight <= 0:
-            raise ConfigurationError("belief state has no usable hypotheses")
+        if self.rollout_backend == "vectorized":
+            return self._decide_vectorized(belief, now)
+        return self._decide_scalar(belief, now)
 
-        service_time = self._believed_service_time(top, total_weight)
-        actions = self.action_grid.actions(service_time)
-        horizon = self._horizon(top, total_weight, service_time)
+    def _decide_scalar(self, belief: BeliefState, now: float) -> Decision:
+        top = belief.top(self.top_k)
+        summary = self._summarize_hypotheses(top)
+        actions = self.action_grid.actions(summary.service_time)
+        horizon = self._horizon_from(summary)
+        total_weight = summary.total_weight
 
         expected: dict[float, float] = {}
         for action in actions:
@@ -121,25 +169,132 @@ class ExpectedUtilityPlanner:
         return Decision(
             action=best_action,
             expected_utilities=expected,
-            hypotheses_evaluated=len(top),
+            hypotheses_evaluated=summary.count,
+            horizon=horizon,
+        )
+
+    def _decide_vectorized(self, belief: BeliefState, now: float) -> Decision:
+        from repro.inference.vectorized import rollout as batched
+
+        top_rows = getattr(belief, "top_rows", None)
+        if top_rows is not None:
+            rows, weights = top_rows(self.top_k)
+            state = belief.state
+            summary = self._summarize_rows(state, rows, weights)
+            lanes = batched.pack_rows(state, rows)
+        else:
+            top = belief.top(self.top_k)
+            summary = self._summarize_hypotheses(top)
+            lanes = batched.pack_hypotheses([hypothesis for hypothesis, _ in top])
+
+        actions = self.action_grid.actions(summary.service_time)
+        horizon = self._horizon_from(summary)
+        outcome = batched.batched_rollout(
+            lanes,
+            [action.delay for action in actions],
+            horizon,
+            self.packet_bits,
+            now,
+        )
+        self.rollouts_performed += outcome.lanes
+
+        evaluate_batch = getattr(self.utility, "evaluate_batch", None)
+        if evaluate_batch is not None:
+            values = evaluate_batch(outcome).tolist()
+        else:
+            # Custom utility without a batch path: value each lane through
+            # the scalar evaluate (still avoids per-lane model rollouts).
+            values = [
+                self.utility.evaluate(outcome.lane_outcome(lane))
+                for lane in range(outcome.lanes)
+            ]
+
+        count = summary.count
+        total_weight = summary.total_weight
+        weights = summary.weights
+        expected: dict[float, float] = {}
+        for index, action in enumerate(actions):
+            accumulated = 0.0
+            base = index * count
+            for position in range(count):
+                accumulated += (weights[position] / total_weight) * values[base + position]
+            expected[action.delay] = accumulated
+
+        best_action = self._argmax_prefer_longer_delay(actions, expected)
+        return Decision(
+            action=best_action,
+            expected_utilities=expected,
+            hypotheses_evaluated=count,
             horizon=horizon,
         )
 
     # ----------------------------------------------------------------- helpers
 
-    def _believed_service_time(self, top, total_weight) -> float:
-        rate = 0.0
+    def _summarize_hypotheses(self, top) -> _TopSummary:
+        """Single walk over scalar ``(hypothesis, weight)`` pairs."""
+        weights: list[float] = []
+        rates: list[float] = []
+        drains: list[float] | None = [] if self.horizon is None else None
         for hypothesis, weight in top:
-            rate += (weight / total_weight) * hypothesis.model.params.link_rate_bps
-        return self.packet_bits / rate
+            weights.append(weight)
+            rates.append(hypothesis.model.params.link_rate_bps)
+            if drains is not None:
+                drains.append(hypothesis.model.drain_time())
+        return self._aggregate(weights, rates, drains)
 
-    def _horizon(self, top, total_weight, service_time) -> float:
+    def _summarize_rows(self, state, rows, weights: list[float]) -> _TopSummary:
+        """Single walk over ensemble rows — no ``Hypothesis`` materialization.
+
+        Uses the same per-row Python-float arithmetic as the scalar walk
+        (including ``LinkModel.drain_time``'s formula), so the aggregates
+        are bit-identical across belief backends.
+        """
+        rates = state.link_rate[rows].tolist()
+        drains: list[float] | None = None
+        if self.horizon is None:
+            drains = []
+            time = state.time
+            queue_bits = state.queue_bits[rows].tolist()
+            svc_active = state.svc_active[rows].tolist()
+            svc_completion = state.svc_completion[rows].tolist()
+            for rate, bits, active, completion in zip(
+                rates, queue_bits, svc_active, svc_completion
+            ):
+                remaining = bits
+                if active:
+                    remaining += max(0.0, (completion - time) * rate)
+                drains.append(remaining / rate)
+        return self._aggregate(list(weights), rates, drains)
+
+    def _aggregate(
+        self,
+        weights: list[float],
+        rates: list[float],
+        drains: list[float] | None,
+    ) -> _TopSummary:
+        """Derive the planner aggregates from one extracted walk."""
+        total_weight = sum(weights)
+        if total_weight <= 0:
+            raise ConfigurationError("belief state has no usable hypotheses")
+        rate = 0.0
+        for weight, link_rate in zip(weights, rates):
+            rate += (weight / total_weight) * link_rate
+        service_time = self.packet_bits / rate
+        drain = 0.0
+        if drains is not None:
+            for weight, drain_time in zip(weights, drains):
+                drain += (weight / total_weight) * drain_time
+        return _TopSummary(
+            weights=weights,
+            total_weight=total_weight,
+            service_time=service_time,
+            drain=drain,
+        )
+
+    def _horizon_from(self, summary: _TopSummary) -> float:
         if self.horizon is not None:
             return self.horizon
-        drain = 0.0
-        for hypothesis, weight in top:
-            drain += (weight / total_weight) * hypothesis.model.drain_time()
-        return drain + self.horizon_service_multiples * service_time
+        return summary.drain + self.horizon_service_multiples * summary.service_time
 
     @staticmethod
     def _argmax_prefer_longer_delay(actions: list[Action], expected: dict[float, float]) -> Action:

@@ -70,17 +70,11 @@ class PolicyCache:
         return len(self._cache)
 
     def _belief_key(self, belief: BeliefState) -> Hashable:
-        """A coarse, time-invariant digest of the belief's decision-relevant state."""
-        parts = []
-        for hypothesis, weight in belief.top(self.planner.top_k):
-            model = hypothesis.model
-            parts.append(
-                (
-                    tuple(sorted(hypothesis.params.items())),
-                    round(weight, 3),
-                    model.gate_on,
-                    round(model.backlog_bits / self.queue_resolution_bits),
-                    model.busy,
-                )
-            )
-        return tuple(parts)
+        """A coarse, time-invariant digest of the belief's decision-relevant state.
+
+        Delegated to :meth:`BeliefState.decision_signature` so the
+        vectorized backend can build the digest straight from its ensemble
+        rows — keeping the cached decide path free of scalar ``Hypothesis``
+        materialization.
+        """
+        return belief.decision_signature(self.planner.top_k, self.queue_resolution_bits)

@@ -34,6 +34,7 @@ class AblationConfig:
     top_k: int = 16
     use_policy_cache: bool = False
     backend: str = "scalar"  # "scalar" or "vectorized" belief engine
+    rollout_backend: str = "scalar"  # "scalar" or "vectorized" planner fan-out
 
 
 @dataclass
@@ -127,6 +128,7 @@ def run_ablation_config(
         AlphaWeightedUtility(alpha=alpha, discount_timescale=20.0),
         packet_bits=packet_bits,
         top_k=config.top_k,
+        rollout_backend=config.rollout_backend,
     )
     sender = ISender(
         belief,

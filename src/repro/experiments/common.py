@@ -21,6 +21,11 @@ class SenderSettings:
     Figure-3 reproduction (see EXPERIMENTS.md).  ``belief_backend`` selects
     the inference engine: ``"scalar"`` (the per-object reference path) or
     ``"vectorized"`` (the NumPy struct-of-arrays ensemble).
+    ``rollout_backend`` selects the planner's fan-out engine the same way:
+    ``"scalar"`` rolls each (action × hypothesis) lane through a scalar
+    model clone; ``"vectorized"`` advances all lanes as one batched event
+    frontier (and, combined with ``belief_backend="vectorized"``, keeps the
+    whole decide path free of scalar ``Hypothesis`` objects).
     """
 
     alpha: float = 1.0
@@ -32,6 +37,7 @@ class SenderSettings:
     packet_bits: float = DEFAULT_PACKET_BITS
     use_policy_cache: bool = False
     belief_backend: str = "scalar"
+    rollout_backend: str = "scalar"
 
 
 def attach_isender(
@@ -58,6 +64,7 @@ def attach_isender(
         utility,
         packet_bits=settings.packet_bits,
         top_k=settings.top_k,
+        rollout_backend=settings.rollout_backend,
     )
     sender = ISender(
         belief,

@@ -1,0 +1,255 @@
+"""The planner hot-path benchmark: scalar vs. vectorized rollout backends.
+
+PR 2 vectorized the belief update, which left the planner's (action ×
+hypothesis) rollout fan-out as the dominant cost of full ISender runs.
+This module measures that fan-out in isolation: it prepares one *loaded
+decision state* — a belief warmed to the 512-hypothesis cap on a
+deterministic Figure-3-style workload, then hit with a send burst so every
+hypothesis carries a queued backlog at the decision time — and times
+repeated ``ExpectedUtilityPlanner.decide`` calls (``top_k`` hypotheses ×
+the default 9-delay action grid) through each rollout backend.
+
+The warm-up prior concentrates its spread on loss, buffer capacity, and
+initial fill — parameters that shape *outcomes* without desynchronizing
+per-lane event rates — which is the planner's steady-state regime once the
+link speed has been identified, and the regime the batched engine is built
+for: every lane advances through a comparable number of events, so one
+masked frontier iteration replaces ~``top_k × actions`` scalar events.
+
+Used by ``benchmarks/bench_planner_rollout.py`` (which writes the
+``BENCH_planner.json`` regression record) and runnable standalone::
+
+    PYTHONPATH=src python -m repro.experiments.planner_bench
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core import AlphaWeightedUtility, ExpectedUtilityPlanner
+from repro.inference import BeliefState, GaussianKernel, figure3_prior
+from repro.experiments.inference_bench import (
+    SEND,
+    InferenceBenchConfig,
+    build_workload,
+)
+from repro.units import DEFAULT_PACKET_BITS
+
+
+@dataclass(frozen=True)
+class PlannerBenchConfig:
+    """Shape of the loaded decision state and the timed fan-out."""
+
+    top_k: int = 24
+    max_hypotheses: int = 512
+    #: Warm-up workload (shared with the inference bench machinery).
+    duration: float = 12.0
+    update_interval: float = 1.0
+    send_interval: float = 0.5
+    packet_bits: float = DEFAULT_PACKET_BITS
+    true_link_rate_bps: float = 12_000.0
+    true_cross_fraction: float = 0.7
+    kernel_sigma: float = 0.4
+    #: Send burst queued at the decision time (the loaded-sender regime).
+    burst: int = 14
+    #: Prior resolution: narrow on the (identified) link speed and cross
+    #: fraction, wide on loss/buffer/fill — 2*2*8*4*2 = 512 configurations.
+    link_rate_low: float = 11_000.0
+    link_rate_high: float = 13_000.0
+    link_rate_points: int = 2
+    cross_fraction_low: float = 0.65
+    cross_fraction_high: float = 0.7
+    cross_fraction_points: int = 2
+    loss_points: int = 8
+    buffer_points: int = 4
+    fill_points: int = 2
+    #: Timed ``decide`` calls per round.
+    decisions: int = 15
+
+    @property
+    def alpha_utility(self) -> AlphaWeightedUtility:
+        """The Figure-3 utility used for every timed decision."""
+        return AlphaWeightedUtility(alpha=1.0, discount_timescale=20.0)
+
+
+@dataclass
+class PlannerBackendResult:
+    """Measurements from timing one rollout backend on the decision state."""
+
+    rollout_backend: str
+    wall_time_s: float
+    decisions: int
+    rollouts_performed: int
+    hypotheses_evaluated: int
+    chosen_delay: float
+    horizon: float
+    expected_utilities: dict[float, float] = field(default_factory=dict)
+
+
+@dataclass
+class PlannerComparison:
+    """Both rollout backends on the identical decision state."""
+
+    config: PlannerBenchConfig
+    scalar: PlannerBackendResult
+    vectorized: PlannerBackendResult
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar.wall_time_s / self.vectorized.wall_time_s
+
+    @property
+    def max_utility_divergence(self) -> float:
+        """Largest relative expected-utility difference across the action grid."""
+        scalar = self.scalar.expected_utilities
+        vectorized = self.vectorized.expected_utilities
+        if set(scalar) != set(vectorized):
+            return float("inf")
+        worst = 0.0
+        for delay, value in scalar.items():
+            scale = max(1.0, abs(value))
+            worst = max(worst, abs(vectorized[delay] - value) / scale)
+        return worst
+
+    @property
+    def decisions_match(self) -> bool:
+        """Whether both backends chose the same action.
+
+        Compared within the documented 1e-9 relative tolerance rather than
+        bit-exactly: the two planners run over *different belief backends*,
+        whose posteriors may differ by transcendental rounding (PR 2's
+        contract), which can shift the derived delays in the last ulp.
+        """
+
+        def close(left: float, right: float) -> bool:
+            return abs(left - right) <= 1e-9 * max(1.0, abs(left), abs(right))
+
+        return close(self.scalar.chosen_delay, self.vectorized.chosen_delay) and close(
+            self.scalar.horizon, self.vectorized.horizon
+        )
+
+
+def build_decision_state(config: PlannerBenchConfig, belief_backend: str) -> BeliefState:
+    """A belief at the cap, converged and carrying a queued send burst."""
+    workload = InferenceBenchConfig(
+        max_hypotheses=config.max_hypotheses,
+        duration=config.duration,
+        update_interval=config.update_interval,
+        send_interval=config.send_interval,
+        packet_bits=config.packet_bits,
+        true_link_rate_bps=config.true_link_rate_bps,
+        true_cross_rate_pps=(
+            config.true_cross_fraction * config.true_link_rate_bps / config.packet_bits
+        ),
+        kernel_sigma=config.kernel_sigma,
+    )
+    prior = figure3_prior(
+        link_rate_low=config.link_rate_low,
+        link_rate_high=config.link_rate_high,
+        link_rate_points=config.link_rate_points,
+        cross_fraction_low=config.cross_fraction_low,
+        cross_fraction_high=config.cross_fraction_high,
+        cross_fraction_points=config.cross_fraction_points,
+        loss_points=config.loss_points,
+        buffer_points=config.buffer_points,
+        fill_points=config.fill_points,
+        packet_bits=config.packet_bits,
+    )
+    belief = BeliefState.from_prior(
+        prior,
+        kernel=GaussianKernel(sigma=config.kernel_sigma),
+        max_hypotheses=config.max_hypotheses,
+        backend=belief_backend,
+    )
+    for kind, args in build_workload(workload):
+        if kind == SEND:
+            belief.record_send(*args)
+        else:
+            belief.update(*args)
+    burst_base = 1_000_000  # clear of every warm-up sequence number
+    for index in range(config.burst):
+        belief.record_send(burst_base + index, config.packet_bits, config.duration)
+    belief.update(config.duration)
+    return belief
+
+
+def time_backend(
+    rollout_backend: str,
+    belief: BeliefState,
+    config: PlannerBenchConfig,
+) -> PlannerBackendResult:
+    """Time ``config.decisions`` repeated decides through one backend."""
+    planner = ExpectedUtilityPlanner(
+        config.alpha_utility,
+        packet_bits=config.packet_bits,
+        top_k=config.top_k,
+        rollout_backend=rollout_backend,
+    )
+    now = config.duration
+    decision = planner.decide(belief, now)  # warm caches and allocators
+    planner.rollouts_performed = 0  # count the timed decisions only
+    started = time.perf_counter()
+    for _ in range(config.decisions):
+        decision = planner.decide(belief, now)
+    elapsed = time.perf_counter() - started
+    return PlannerBackendResult(
+        rollout_backend=rollout_backend,
+        wall_time_s=elapsed,
+        decisions=config.decisions,
+        rollouts_performed=planner.rollouts_performed,
+        hypotheses_evaluated=decision.hypotheses_evaluated,
+        chosen_delay=decision.delay,
+        horizon=decision.horizon,
+        expected_utilities=dict(decision.expected_utilities),
+    )
+
+
+def run_planner_comparison(
+    config: PlannerBenchConfig | None = None, rounds: int = 3
+) -> PlannerComparison:
+    """Time both rollout backends on one decision state; keep each one's best.
+
+    The decision state is built once per belief backend — the vectorized
+    planner runs over the vectorized belief (its no-materialization path),
+    the scalar planner over the scalar belief — which PR 2's equivalence
+    contract guarantees hold identical posteriors.  The *minimum* wall time
+    over ``rounds`` is each backend's robust cost estimate.
+    """
+    config = config or PlannerBenchConfig()
+    scalar_belief = build_decision_state(config, "scalar")
+    vectorized_belief = build_decision_state(config, "vectorized")
+    best: dict[str, PlannerBackendResult] = {}
+    for _ in range(max(1, rounds)):
+        for backend, belief in (
+            ("vectorized", vectorized_belief),
+            ("scalar", scalar_belief),
+        ):
+            result = time_backend(backend, belief, config)
+            kept = best.get(backend)
+            if kept is None or result.wall_time_s < kept.wall_time_s:
+                best[backend] = result
+    return PlannerComparison(
+        config=config, scalar=best["scalar"], vectorized=best["vectorized"]
+    )
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    comparison = run_planner_comparison()
+    scalar, vectorized = comparison.scalar, comparison.vectorized
+    per_decide = 1000.0 / scalar.decisions
+    print(
+        f"scalar     : {scalar.wall_time_s * per_decide:8.2f} ms/decide "
+        f"({scalar.rollouts_performed} rollouts total)"
+    )
+    print(
+        f"vectorized : {vectorized.wall_time_s * per_decide:8.2f} ms/decide "
+        f"({vectorized.rollouts_performed} rollouts total)"
+    )
+    print(f"speedup    : {comparison.speedup:8.1f} x")
+    print(f"max |ΔU|   : {comparison.max_utility_divergence:8.2e} (relative)")
+    print(f"same action: {comparison.decisions_match}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -42,6 +42,13 @@ class BeliefState:
     missing_grace:
         Seconds of grace before an unacknowledged packet is charged to
         stochastic loss (passed through to hypothesis scoring).
+    cross_tally_window:
+        Seconds of cross-traffic delivery/drop history each hypothesis's
+        model retains behind the update clock.  Planner rollouts read the
+        tallies of *fresh* clones only, so history older than any scoring
+        or rollout window is dead weight that previously grew (and was
+        re-copied on every gate fork) without bound on long runs; ``None``
+        restores the unbounded behaviour.
     on_degenerate:
         What to do when every hypothesis is rejected by an observation:
         ``"keep"`` ignores the observation and keeps the pre-update weights
@@ -57,12 +64,15 @@ class BeliefState:
         max_hypotheses: int = 512,
         prune_fraction: float = 1e-6,
         missing_grace: float = 0.0,
+        cross_tally_window: Optional[float] = 60.0,
         on_degenerate: str = "keep",
     ) -> None:
         if not hypotheses:
             raise InferenceError("a belief state needs at least one hypothesis")
         if on_degenerate not in ("keep", "raise"):
             raise InferenceError(f"unknown on_degenerate policy {on_degenerate!r}")
+        if cross_tally_window is not None and cross_tally_window <= 0:
+            raise InferenceError("cross_tally_window must be positive when given")
         self._hypotheses = list(hypotheses)
         if weights is None:
             weights = [1.0] * len(self._hypotheses)
@@ -73,6 +83,7 @@ class BeliefState:
         self.max_hypotheses = max_hypotheses
         self.prune_fraction = prune_fraction
         self.missing_grace = missing_grace
+        self.cross_tally_window = cross_tally_window
         self.on_degenerate = on_degenerate
         #: Every sequence number acknowledged so far.
         self.acked_seqs: set[int] = set()
@@ -172,6 +183,35 @@ class BeliefState:
         index = max(range(len(self._weights)), key=lambda i: self._weights[i])
         return self._hypotheses[index]
 
+    def map_link_rate_bps(self) -> float:
+        """The MAP hypothesis's link rate (no materialization on any backend)."""
+        return self.map_estimate().model.params.link_rate_bps
+
+    def decision_signature(
+        self, count: int, queue_resolution_bits: float
+    ) -> tuple:
+        """A coarse, hashable digest of the decision-relevant belief state.
+
+        Used by :class:`~repro.core.policy.PolicyCache` as its memoization
+        key: per top hypothesis, the parameter assignment, the weight
+        rounded to 3 decimals, the gate state, the backlog rounded to
+        ``queue_resolution_bits``, and whether the link is busy.  Backends
+        produce identical tuples for equivalent ensembles.
+        """
+        parts = []
+        for hypothesis, weight in self.top(count):
+            model = hypothesis.model
+            parts.append(
+                (
+                    tuple(sorted(hypothesis.params.items())),
+                    round(weight, 3),
+                    model.gate_on,
+                    round(model.backlog_bits / queue_resolution_bits),
+                    model.busy,
+                )
+            )
+        return tuple(parts)
+
     def _weight_values(self) -> list[float]:
         """The normalized weights as a plain list (storage-backend hook)."""
         return self._weights
@@ -266,6 +306,12 @@ class BeliefState:
         candidates, candidate_weights = self._prune(candidates, candidate_weights)
         self._hypotheses = candidates
         self._weights = self._normalize(candidate_weights)
+        if self.cross_tally_window is not None:
+            # Bound per-model cross-tally history so long runs stay flat in
+            # memory (clones copy these lists on every gate fork).
+            cutoff = now - self.cross_tally_window
+            for hypothesis in self._hypotheses:
+                hypothesis.model.cross.trim(cutoff)
 
     # ----------------------------------------------------------------- helpers
 

@@ -18,6 +18,7 @@ hundreds of these models on every sender wake-up.
 
 from __future__ import annotations
 
+import bisect
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
@@ -114,6 +115,22 @@ class CrossTally:
     def dropped_bits(self, start: float = float("-inf"), end: float = float("inf")) -> float:
         """Cross bits lost to buffer overflow within ``[start, end)``."""
         return sum(bits for time, bits in self.drops if start <= time < end)
+
+    def trim(self, cutoff: float) -> int:
+        """Drop entries recorded before ``cutoff``; returns how many went.
+
+        Entries are appended in nondecreasing time order, so a binary
+        search finds the survivors.  Belief states call this every update
+        to keep long-running models' tallies (which clones copy wholesale)
+        bounded by the scoring window.
+        """
+        removed = 0
+        for entries in (self.deliveries, self.drops):
+            if entries and entries[0][0] < cutoff:
+                index = bisect.bisect_left(entries, (cutoff,))
+                del entries[:index]
+                removed += index
+        return removed
 
 
 class LinkModel:

@@ -15,14 +15,35 @@ NumPy buffers instead and batches each step across all rows:
 * :mod:`~repro.inference.vectorized.scoring` — batched log-space
   likelihood accumulation with scalar-identical semantics,
 * :mod:`~repro.inference.vectorized.belief` — the drop-in
-  :class:`VectorizedBeliefState`.
+  :class:`VectorizedBeliefState`,
+* :mod:`~repro.inference.vectorized.rollout` — the batched planner
+  rollout engine: every (action × hypothesis) lane advanced through one
+  masked event frontier, packed straight from ensemble rows (no scalar
+  ``Hypothesis`` materialization) or from ``export_state()`` when the
+  belief backend is scalar.
 
 Select it anywhere a belief is built via
 ``BeliefState.from_prior(..., backend="vectorized")`` (the scalar path
-remains the reference implementation).
+remains the reference implementation), and on the planner via
+``ExpectedUtilityPlanner(..., rollout_backend="vectorized")``.
 """
 
 from repro.inference.vectorized.belief import VectorizedBeliefState
+from repro.inference.vectorized.rollout import (
+    BatchedRolloutOutcome,
+    RolloutLanes,
+    batched_rollout,
+    pack_hypotheses,
+    pack_rows,
+)
 from repro.inference.vectorized.state import EnsembleState
 
-__all__ = ["EnsembleState", "VectorizedBeliefState"]
+__all__ = [
+    "BatchedRolloutOutcome",
+    "EnsembleState",
+    "RolloutLanes",
+    "VectorizedBeliefState",
+    "batched_rollout",
+    "pack_hypotheses",
+    "pack_rows",
+]

@@ -25,7 +25,6 @@ objects at all.
 
 from __future__ import annotations
 
-import heapq
 import math
 from typing import Iterable, Optional, Sequence
 
@@ -54,6 +53,7 @@ class VectorizedBeliefState(BeliefState):
         max_hypotheses: int = 512,
         prune_fraction: float = 1e-6,
         missing_grace: float = 0.0,
+        cross_tally_window: Optional[float] = 60.0,
         on_degenerate: str = "keep",
     ) -> None:
         super().__init__(
@@ -63,6 +63,7 @@ class VectorizedBeliefState(BeliefState):
             max_hypotheses=max_hypotheses,
             prune_fraction=prune_fraction,
             missing_grace=missing_grace,
+            cross_tally_window=cross_tally_window,
             on_degenerate=on_degenerate,
         )
         self._state = EnsembleState.from_hypotheses(self._hypotheses)
@@ -93,14 +94,52 @@ class VectorizedBeliefState(BeliefState):
     def __iter__(self):
         return iter(zip(self.hypotheses, self.weights))
 
+    def top_rows(self, count: int) -> tuple[np.ndarray, list[float]]:
+        """The ``count`` heaviest rows and their weights, heaviest first.
+
+        The planner's no-materialization accessor.  A stable argsort on the
+        negated weights reproduces the scalar backend's ``heapq.nlargest``
+        selection exactly (both order descending with ties broken toward
+        the lower index).
+        """
+        order = np.argsort(-self._weight_array, kind="stable")[:count]
+        return order, self._weight_array[order].tolist()
+
     def top(self, count: int) -> list[tuple[Hypothesis, float]]:
-        weights = self._weight_array.tolist()
-        order = heapq.nlargest(count, range(len(weights)), key=weights.__getitem__)
-        return [(self._state.materialize(row), weights[row]) for row in order]
+        rows, weights = self.top_rows(count)
+        return [
+            (self._state.materialize(int(row)), weight)
+            for row, weight in zip(rows.tolist(), weights)
+        ]
 
     def map_estimate(self) -> Hypothesis:
         weights = self._weight_array.tolist()
         return self._state.materialize(max(range(len(weights)), key=weights.__getitem__))
+
+    def map_link_rate_bps(self) -> float:
+        weights = self._weight_array.tolist()
+        row = max(range(len(weights)), key=weights.__getitem__)
+        return float(self._state.link_rate[row])
+
+    def decision_signature(self, count: int, queue_resolution_bits: float) -> tuple:
+        rows, weights = self.top_rows(count)
+        state = self._state
+        parts = []
+        for row, weight in zip(rows.tolist(), weights):
+            busy = bool(state.svc_active[row])
+            backlog = float(state.queue_bits[row]) + (
+                float(state.svc_size[row]) if busy else 0.0
+            )
+            parts.append(
+                (
+                    state.params_keys[row],
+                    round(weight, 3),
+                    bool(state.gate_on[row]),
+                    round(backlog / queue_resolution_bits),
+                    busy,
+                )
+            )
+        return tuple(parts)
 
     # posterior_mean / posterior_marginal / effective_sample_size / entropy
     # are inherited: the base-class formulas read these two storage hooks.

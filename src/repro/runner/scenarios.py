@@ -184,9 +184,10 @@ def inference_ablation_point(
     top_k: int = 16,
     use_policy_cache: bool = False,
     backend: str = "scalar",
+    rollout_backend: str = "scalar",
 ) -> dict[str, float]:
     """One configuration of the inference-approximation ablation."""
-    label = f"{kernel}/{max_hypotheses}hyp/top{top_k}/{backend}" + (
+    label = f"{kernel}/{max_hypotheses}hyp/top{top_k}/{backend}/{rollout_backend}" + (
         "/cache" if use_policy_cache else ""
     )
     outcome = run_ablation_config(
@@ -198,6 +199,7 @@ def inference_ablation_point(
             top_k=top_k,
             use_policy_cache=use_policy_cache,
             backend=backend,
+            rollout_backend=rollout_backend,
         ),
         duration=duration,
         seed=seed,

@@ -79,6 +79,25 @@ class TestBenchRecord:
         assert set(merged.entries) == {"a", "b"}
         assert merged.check_gates() == []
 
+    def test_update_retracts_gates_mapped_to_none(self, tmp_path):
+        """A hardware-conditional gate from an earlier run can be withdrawn."""
+        path = tmp_path / "BENCH_retract.json"
+        update_bench_record(
+            path,
+            "retract",
+            {"fast": ({"speedup": 3.0}, None)},
+            gates={"fast.speedup": {"min": 2.5}},
+        )
+        update_bench_record(
+            path,
+            "retract",
+            {"fast": ({"speedup": 0.8}, None)},
+            gates={"fast.speedup": None},
+        )
+        merged = BenchRecord.load(path)
+        assert "fast.speedup" not in merged.gates
+        assert merged.check_gates() == []
+
 
 class TestCompareCli:
     def run_compare(self, *args):

@@ -221,3 +221,75 @@ class TestPolicyCache:
         assert cache.size == 1
         cache.clear()
         assert cache.size == 0
+
+    @pytest.mark.parametrize("rollout_backend", ["scalar", "vectorized"])
+    def test_hit_miss_semantics_per_rollout_backend(self, rollout_backend):
+        planner = ExpectedUtilityPlanner(
+            ThroughputUtility(), top_k=2, rollout_backend=rollout_backend
+        )
+        cache = PolicyCache(planner)
+        belief = make_belief()
+        first = cache.decide(belief, now=0.0)
+        second = cache.decide(belief, now=0.0)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert second is first  # the cached Decision object itself
+        belief.record_send(0, 12_000, 0.0)
+        third = cache.decide(belief, now=0.0)
+        assert (cache.hits, cache.misses) == (1, 2)
+        assert third is not first
+
+    @pytest.mark.parametrize("rollout_backend", ["scalar", "vectorized"])
+    def test_cached_decisions_keep_their_diagnostics(self, rollout_backend):
+        planner = ExpectedUtilityPlanner(
+            ThroughputUtility(), top_k=3, rollout_backend=rollout_backend
+        )
+        cache = PolicyCache(planner)
+        belief = make_belief()
+        cache.decide(belief, now=0.0)
+        cached = cache.decide(belief, now=0.0)
+        assert cache.hits == 1
+        assert cached.hypotheses_evaluated == 3
+        assert cached.horizon > 0
+        assert len(cached.expected_utilities) == len(ActionGrid.DEFAULT_MULTIPLES)
+        # The cache does not re-run the fan-out on a hit.
+        assert planner.rollouts_performed == 3 * len(ActionGrid.DEFAULT_MULTIPLES)
+
+    @pytest.mark.parametrize("rollout_backend", ["scalar", "vectorized"])
+    def test_eviction_drops_oldest_entry_first(self, rollout_backend):
+        planner = ExpectedUtilityPlanner(
+            ThroughputUtility(), top_k=2, rollout_backend=rollout_backend
+        )
+        cache = PolicyCache(planner, max_entries=2)
+        beliefs = []
+        for sends in range(3):
+            belief = make_belief()
+            for seq in range(sends):
+                belief.record_send(seq, 12_000, 0.0)
+            beliefs.append(belief)
+            cache.decide(belief, now=0.0)
+        assert cache.size == 2  # capped
+        assert cache.misses == 3
+        # The oldest key (zero sends) was evicted: deciding it again misses...
+        cache.decide(beliefs[0], now=0.0)
+        assert cache.misses == 4
+        # ...while the newest entries still hit.
+        cache.decide(beliefs[2], now=0.0)
+        assert cache.hits == 1
+
+    def test_cache_key_is_backend_invariant(self):
+        """Scalar and vectorized beliefs produce the same cache key."""
+        from repro.inference import figure3_prior
+
+        prior = figure3_prior(
+            link_rate_points=2, cross_fraction_points=2, loss_points=2,
+            buffer_points=2, fill_points=1,
+        )
+        keys = []
+        for backend in ("scalar", "vectorized"):
+            belief = BeliefState.from_prior(
+                prior, kernel=GaussianKernel(sigma=0.3), backend=backend
+            )
+            belief.record_send(0, 12_000, 0.0)
+            belief.update(1.0)
+            keys.append(belief.decision_signature(4, 3_000.0))
+        assert keys[0] == keys[1]

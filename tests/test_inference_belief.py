@@ -284,3 +284,40 @@ class TestBeliefState:
             belief.update(now, [])
             assert sum(belief.weights) == pytest.approx(1.0)
             assert all(weight >= 0 for weight in belief.weights)
+
+
+class TestCrossTallyWindow:
+    """Belief updates bound each model's cross-tally history (memory flatness)."""
+
+    def run_updates(self, window, until=120.0):
+        belief = BeliefState(
+            [make_hypothesis(cross_rate_pps=0.5)],
+            cross_tally_window=window,
+        )
+        now = 0.0
+        while now < until:
+            now += 5.0
+            belief.update(now)
+        return belief, now
+
+    def test_default_window_keeps_tallies_bounded(self):
+        belief, now = self.run_updates(window=60.0)
+        (hypothesis, _weight), = belief.top(1)
+        deliveries = hypothesis.model.cross.deliveries
+        assert deliveries, "cross traffic should have been delivered"
+        assert all(time >= now - 60.0 for time, _ in deliveries)
+
+    def test_none_window_retains_full_history(self):
+        belief, _now = self.run_updates(window=None)
+        (hypothesis, _weight), = belief.top(1)
+        assert min(time for time, _ in hypothesis.model.cross.deliveries) < 10.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(InferenceError):
+            BeliefState([make_hypothesis()], cross_tally_window=0.0)
+
+    def test_long_run_memory_stays_flat(self):
+        short, _ = self.run_updates(window=30.0, until=300.0)
+        (hypothesis, _weight), = short.top(1)
+        # 0.5 packets/s over a 30 s window: ~15 entries, never the full 150.
+        assert len(hypothesis.model.cross.deliveries) <= 20

@@ -263,3 +263,36 @@ class TestAgreementWithElementSimulator:
         assert len(model_times) == len(element_times)
         for ours, theirs in zip(model_times, element_times):
             assert ours == pytest.approx(theirs, abs=1e-6)
+
+
+class TestCrossTallyTrim:
+    def test_trim_drops_entries_before_cutoff(self):
+        model = LinkModel(simple_params(cross_rate_pps=0.5, cross_packet_bits=12_000.0))
+        model.advance(20.0)
+        total = len(model.cross.deliveries)
+        assert total > 0
+        removed = model.cross.trim(10.0)
+        assert removed == total - len(model.cross.deliveries)
+        assert all(time >= 10.0 for time, _ in model.cross.deliveries)
+        assert model.cross.delivered_bits(10.0, 20.0) > 0
+
+    def test_trim_is_a_noop_when_nothing_is_old(self):
+        model = LinkModel(simple_params(cross_rate_pps=0.5, cross_packet_bits=12_000.0))
+        model.advance(20.0)
+        before = list(model.cross.deliveries)
+        assert model.cross.trim(0.0) == 0
+        assert model.cross.deliveries == before
+
+    def test_trim_covers_drops_too(self):
+        # A tiny buffer with dense cross traffic accumulates drop entries.
+        model = LinkModel(
+            simple_params(
+                buffer_capacity_bits=12_000.0,
+                cross_rate_pps=4.0,
+                cross_packet_bits=12_000.0,
+            )
+        )
+        model.advance(20.0)
+        assert model.cross.drops
+        model.cross.trim(19.0)
+        assert all(time >= 19.0 for time, _ in model.cross.drops)
