@@ -11,8 +11,9 @@ emitting the ``BENCH_inference.json`` regression record that
 
 from __future__ import annotations
 
+from repro.api import SenderConfig
 from repro.experiments import run_inference_ablation
-from repro.experiments.ablation import AblationConfig
+from repro.experiments.ablation import AblationPoint
 from repro.experiments.inference_bench import (
     InferenceBenchConfig,
     run_backend_comparison,
@@ -23,11 +24,11 @@ from repro.metrics.summary import ExperimentRow, format_table
 MIN_VECTORIZED_SPEEDUP = 5.0
 
 BENCH_CONFIGS = (
-    AblationConfig(label="gaussian kernel / 200 hyps"),
-    AblationConfig(label="gaussian kernel / 50 hyps", max_hypotheses=50, top_k=8),
-    AblationConfig(label="exact (rejection) kernel", kernel="exact", kernel_scale=0.75),
-    AblationConfig(label="policy cache", use_policy_cache=True),
-    AblationConfig(label="vectorized backend / 200 hyps", backend="vectorized"),
+    AblationPoint("gaussian kernel / 200 hyps", SenderConfig()),
+    AblationPoint("gaussian kernel / 50 hyps", SenderConfig(max_hypotheses=50, top_k=8)),
+    AblationPoint("exact (rejection) kernel", SenderConfig(kernel="exact", kernel_scale=0.75)),
+    AblationPoint("policy cache", SenderConfig(policy="cache")),
+    AblationPoint("vectorized backend / 200 hyps", SenderConfig(belief_backend="vectorized")),
 )
 
 

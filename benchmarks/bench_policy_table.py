@@ -1,0 +1,104 @@
+"""Benchmark: the §3.3 precomputed policy table vs. live planning.
+
+Precomputes a :class:`~repro.api.policy.PolicyTable` for the Figure-3
+default sender configuration (pilot run + burst-grid sweep through the
+vectorized rollout lanes), verifies on a **held-out run** that every table
+hit reproduces the live planner's decision at the table's signature
+resolution, then times the steady-state decide path — table lookup vs.
+uncached planning — and emits the ``BENCH_policy.json`` regression record
+that ``benchmarks/compare.py`` gates on.
+
+The fidelity gate requires every checked hit to agree with live planning
+(within the documented 1e-9 relative delay tolerance — the signature
+rounds weights to 3 decimals, so derived delays may differ in the last
+ulp); the speedup gate mirrors the other engine benches' ≥5× floor.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.policy_bench import PolicyBenchConfig, run_policy_comparison
+from repro.metrics.summary import ExperimentRow, format_table
+
+#: The acceptance floor for the precomputed-policy decide path.
+MIN_TABLE_SPEEDUP = 5.0
+
+
+def test_policy_table_speedup_and_fidelity(table_printer, bench_record):
+    """Precomputed Figure-3 policy table: held-out fidelity + lookup speedup."""
+    config = PolicyBenchConfig()
+    comparison = run_policy_comparison(config, rounds=3)
+
+    table_us = comparison.table_wall_time_s / comparison.table_decides * 1e6
+    live_us = comparison.live_wall_time_s / comparison.live_decides * 1e6
+    rows = [
+        ExperimentRow(
+            label="live planning",
+            values={
+                "wall_time (s)": comparison.live_wall_time_s,
+                "us/decide": live_us,
+                "decides": comparison.live_decides,
+            },
+        ),
+        ExperimentRow(
+            label="policy table",
+            values={
+                "wall_time (s)": comparison.table_wall_time_s,
+                "us/decide": table_us,
+                "decides": comparison.table_decides,
+            },
+        ),
+    ]
+    table_printer(
+        format_table(
+            rows,
+            title=(
+                f"Policy table vs. live planning ({comparison.table_entries} "
+                f"precomputed entries, steady-state speedup {comparison.speedup:.0f}x, "
+                f"held-out hit rate {comparison.hit_rate:.0%})"
+            ),
+        )
+    )
+
+    bench_record(
+        "policy",
+        entries={
+            "live_figure3": (
+                {
+                    "wall_time_s": comparison.live_wall_time_s,
+                    "decisions": comparison.live_decides,
+                },
+                {"path": "uncached ExpectedUtilityPlanner.decide"},
+            ),
+            "table_figure3": (
+                {
+                    "wall_time_s": comparison.table_wall_time_s,
+                    "decisions": comparison.table_decides,
+                    "speedup_vs_live": comparison.speedup,
+                    "table_entries": comparison.table_entries,
+                    "heldout_hit_rate": comparison.hit_rate,
+                    "heldout_checked": comparison.heldout_checked,
+                    "decisions_match": float(comparison.decisions_match),
+                },
+                {"path": "precomputed PolicyTable lookup (steady state)"},
+            ),
+        },
+        gates={
+            "table_figure3.speedup_vs_live": {"min": MIN_TABLE_SPEEDUP},
+            "table_figure3.decisions_match": {"min": 1.0},
+        },
+    )
+
+    # The precompute produced a usable table and the held-out run used it...
+    assert comparison.table_entries > 20
+    assert comparison.heldout_hits > 10
+    # ...every hit reproduced the live planner's decision at the table's
+    # signature resolution...
+    assert comparison.decisions_match, (
+        f"{len(comparison.mismatches)} of {comparison.heldout_checked} table "
+        f"hits diverged from live planning: {comparison.mismatches[:5]}"
+    )
+    # ...and the steady-state decide path clears the tentpole speedup floor.
+    assert comparison.speedup >= MIN_TABLE_SPEEDUP, (
+        f"policy-table lookup only {comparison.speedup:.1f}x faster than live "
+        f"planning (target {MIN_TABLE_SPEEDUP:.0f}x)"
+    )

@@ -16,8 +16,8 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
-from repro.core import AlphaWeightedUtility, ExpectedUtilityPlanner, ISender
-from repro.inference import BeliefState, GaussianKernel, figure3_prior
+from repro.api import SenderConfig, build_sender
+from repro.inference import BeliefState, figure3_prior
 from repro.topology import figure2_network
 
 
@@ -46,11 +46,14 @@ def main(argv: Sequence[str] | None = None) -> None:
     prior = figure3_prior(
         link_rate_points=4, cross_fraction_points=4, loss_points=3, buffer_points=2, fill_points=1
     )
-    belief = BeliefState.from_prior(prior, kernel=GaussianKernel(sigma=0.4), max_hypotheses=200)
-    planner = ExpectedUtilityPlanner(AlphaWeightedUtility(alpha=1.0, discount_timescale=20.0), top_k=16)
-    sender = ISender(belief, planner, network.sender_receiver)
-    sender.connect(network.entry)
-    network.network.add(sender)
+    # The canonical construction path: one frozen SenderConfig (prior,
+    # utility, kernel, caps, engines) handed to build_sender.
+    config = SenderConfig(
+        prior=prior, alpha=1.0, discount_timescale=20.0,
+        kernel="gaussian", kernel_scale=0.4, max_hypotheses=200, top_k=16,
+    )
+    sender = build_sender(config, network)
+    belief = sender.belief
 
     print("True configuration: link=12000 bps, cross=0.7*link (on/off every 60 s), loss=0.2")
     print(f"Prior support: {prior.size} configurations\n")

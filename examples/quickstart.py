@@ -6,6 +6,12 @@ tail-drop buffer drained by a throughput-limited link whose speed the sender
 does not know.  The sender starts tentatively, infers the link speed from
 acknowledgement timings, and then sends at exactly the link speed.
 
+The sender is described by one frozen :class:`repro.api.SenderConfig` —
+prior, utility, kernel, engine selection — and built with
+:func:`repro.api.build_sender`, the canonical construction path.  Try
+``--backend vectorized`` to run the same sender on the NumPy inference
+engine, or ``--policy cache`` to memoize steady-state decisions (§3.3).
+
 Run with:  python examples/quickstart.py
 """
 
@@ -14,8 +20,8 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
-from repro.core import AlphaWeightedUtility, ExpectedUtilityPlanner, ISender
-from repro.inference import BeliefState, GaussianKernel, single_link_prior
+from repro.api import SenderConfig, build_sender
+from repro.inference import single_link_prior
 from repro.metrics import format_table
 from repro.metrics.summary import ExperimentRow
 from repro.topology import single_link_network
@@ -25,29 +31,37 @@ from repro.viz import ascii_plot
 def main(argv: Sequence[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--duration", type=float, default=120.0, help="simulated seconds (default 120)")
+    parser.add_argument("--backend", default="scalar", help="belief/rollout engines (scalar or vectorized)")
+    parser.add_argument("--policy", default="none", help="decision policy: none or cache")
     args = parser.parse_args(argv)
     duration = args.duration
 
     # 1. Build the "real" network: buffer -> 12 kbit/s link -> receiver.
     net = single_link_network(link_rate_bps=12_000.0, buffer_capacity_bits=96_000.0)
 
-    # 2. Give the sender a prior over what the link might be.
-    prior = single_link_prior(
-        link_rate_low=8_000.0, link_rate_high=16_000.0, link_rate_points=5, fill_points=1
+    # 2. One frozen config fully describes the sender: a prior over what the
+    #    link might be, the utility it maximizes (alpha=0: own throughput
+    #    only), the likelihood kernel, and the engine/policy selection.
+    config = SenderConfig(
+        prior=single_link_prior(
+            link_rate_low=8_000.0, link_rate_high=16_000.0, link_rate_points=5, fill_points=1
+        ),
+        alpha=0.0,
+        discount_timescale=20.0,
+        kernel="gaussian",
+        kernel_scale=0.25,
+        top_k=8,
+        belief_backend=args.backend,
+        rollout_backend=args.backend,
+        policy=args.policy,
     )
-    belief = BeliefState.from_prior(prior, kernel=GaussianKernel(sigma=0.25))
 
-    # 3. The explicit utility it maximizes, and the planner that maximizes it.
-    utility = AlphaWeightedUtility(alpha=0.0, discount_timescale=20.0)
-    planner = ExpectedUtilityPlanner(utility, top_k=8)
-
-    # 4. Wire the ISender into the network and run it (two minutes by default).
-    sender = ISender(belief, planner, net.sender_receiver)
-    sender.connect(net.entry)
-    net.network.add(sender)
+    # 3. Wire the ISender into the network and run it (two minutes by default).
+    sender = build_sender(config, net)
     net.network.run(until=duration)
 
-    # 5. Report what happened.
+    # 4. Report what happened.
+    belief = sender.belief
     rows = [
         ExperimentRow(
             label="quickstart",

@@ -9,6 +9,9 @@ The package is organized as:
 * :mod:`repro.inference` — priors, hypotheses, and the Bayesian belief state.
 * :mod:`repro.core` — utility functions, the expected-utility planner, and
   the model-based ISender (the paper's contribution).
+* :mod:`repro.api` — the configuration layer: ``SenderConfig`` +
+  ``build_sender`` (the one construction path), the engine backend
+  registry, and precomputed §3.3 policy tables.
 * :mod:`repro.baselines` — TCP-like window senders and rate senders.
 * :mod:`repro.cellular` — the synthetic bufferbloated cellular link used to
   reproduce Figure 1.

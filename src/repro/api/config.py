@@ -1,0 +1,229 @@
+"""The one frozen description of a model-based sender.
+
+Before this layer existed, the knobs that shaped an ISender were smeared
+over four entry points: ``SenderSettings`` (experiments),
+``AblationConfig`` (the ablation sweep), ``BeliefState.from_prior``'s
+``backend=`` keyword, and the runner scenarios' loose parameter lists.
+:class:`SenderConfig` replaces all of them: a single frozen dataclass —
+prior, utility shape, likelihood kernel, hypothesis caps, engine selection,
+and policy mode — that fully describes a model-based sender.  Everything
+that builds a sender now goes through
+:func:`repro.api.sender.build_sender` with one of these.
+
+Backend names are validated **eagerly**, at construction, against the
+:mod:`repro.api.backends` registries, so a typo like
+``rollout_backend="vectorised"`` fails with a
+:class:`~repro.errors.UnknownBackendError` listing the registered engines
+instead of surfacing deep inside planner construction.
+
+:meth:`SenderConfig.fingerprint` is the stable identity used to key
+precomputed :class:`~repro.api.policy.PolicyTable` files (§3.3): two
+configs with the same fields and the same prior support produce the same
+fingerprint on any machine or Python version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields as dataclass_fields, replace
+from typing import Optional
+
+from repro.api.backends import BELIEF_BACKENDS, ROLLOUT_BACKENDS
+from repro.errors import ConfigurationError
+from repro.inference.belief import BeliefState
+from repro.inference.likelihood import ExactMatchKernel, GaussianKernel, LikelihoodKernel
+from repro.inference.prior import Prior
+from repro.units import DEFAULT_PACKET_BITS
+
+#: Likelihood kernels a config can name.
+KERNELS = ("gaussian", "exact")
+
+#: Decision-policy modes (§3.3): live planning, memoized decisions, or a
+#: precomputed policy table.
+POLICY_MODES = ("none", "cache", "table")
+
+#: Fingerprint format version, bumped on incompatible changes.
+FINGERPRINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SenderConfig:
+    """Everything needed to construct a model-based sender.
+
+    Parameters
+    ----------
+    prior:
+        The sender's prior over network configurations.  May be ``None``
+        when the prior is supplied at build time (scenario code often
+        derives it per run), in which case the fingerprint covers only the
+        remaining fields.
+    alpha / discount_timescale / latency_penalty:
+        The :class:`~repro.core.utility.AlphaWeightedUtility` shape (§3.3);
+        the defaults are the Figure-3 calibration.
+    kernel / kernel_scale:
+        Likelihood kernel: ``"gaussian"`` (scale = σ) or ``"exact"``
+        (scale = rejection tolerance).
+    max_hypotheses:
+        Ensemble cap applied after every belief update.
+    top_k:
+        Highest-weight hypotheses the planner evaluates per decision.
+    packet_bits:
+        Uniform packet size of the sender.
+    horizon / horizon_service_multiples:
+        Planner rollout horizon (fixed seconds, or derived per decision).
+    belief_backend / rollout_backend:
+        Registered engine names (see :mod:`repro.api.backends`); validated
+        eagerly at construction.
+    policy:
+        ``"none"`` plans live at every wake-up; ``"cache"`` memoizes
+        decisions (:class:`~repro.core.policy.PolicyCache`); ``"table"``
+        consults a precomputed :class:`~repro.api.policy.PolicyTable`.
+    policy_resolution_bits:
+        Queue-occupancy resolution of the cache/table belief signature.
+    """
+
+    prior: Optional[Prior] = None
+    alpha: float = 1.0
+    discount_timescale: float = 20.0
+    latency_penalty: float = 0.0
+    kernel: str = "gaussian"
+    kernel_scale: float = 0.4
+    max_hypotheses: int = 200
+    top_k: int = 16
+    packet_bits: float = DEFAULT_PACKET_BITS
+    horizon: Optional[float] = None
+    horizon_service_multiples: float = 12.0
+    belief_backend: str = "scalar"
+    rollout_backend: str = "scalar"
+    policy: str = "none"
+    policy_resolution_bits: float = 3_000.0
+
+    def __post_init__(self) -> None:
+        BELIEF_BACKENDS.validate(self.belief_backend)
+        ROLLOUT_BACKENDS.validate(self.rollout_backend)
+        if self.kernel not in KERNELS:
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
+            )
+        if self.policy not in POLICY_MODES:
+            raise ConfigurationError(
+                f"unknown policy mode {self.policy!r}; expected one of {POLICY_MODES}"
+            )
+        if self.kernel_scale <= 0:
+            raise ConfigurationError(
+                f"kernel_scale must be positive, got {self.kernel_scale!r}"
+            )
+        if self.max_hypotheses < 1:
+            raise ConfigurationError("max_hypotheses must be at least 1")
+        if self.top_k < 1:
+            raise ConfigurationError("top_k must be at least 1")
+        if self.packet_bits <= 0:
+            raise ConfigurationError(
+                f"packet_bits must be positive, got {self.packet_bits!r}"
+            )
+        if self.policy_resolution_bits <= 0:
+            raise ConfigurationError("policy_resolution_bits must be positive")
+
+    # -------------------------------------------------------------- derivation
+
+    def with_prior(self, prior: Optional[Prior]) -> "SenderConfig":
+        """This config with ``prior`` substituted (no-op when ``None``)."""
+        if prior is None or prior is self.prior:
+            return self
+        return replace(self, prior=prior)
+
+    # ------------------------------------------------------------ construction
+
+    def build_kernel(self) -> LikelihoodKernel:
+        """The likelihood kernel this config names."""
+        if self.kernel == "exact":
+            return ExactMatchKernel(tolerance=self.kernel_scale)
+        return GaussianKernel(sigma=self.kernel_scale)
+
+    def build_utility(self):
+        """The :class:`~repro.core.utility.AlphaWeightedUtility` this config names."""
+        from repro.core.utility import AlphaWeightedUtility
+
+        return AlphaWeightedUtility(
+            alpha=self.alpha,
+            discount_timescale=self.discount_timescale,
+            latency_penalty=self.latency_penalty,
+        )
+
+    def build_belief(
+        self, prior: Optional[Prior] = None, start_time: float = 0.0
+    ) -> BeliefState:
+        """A belief state over ``prior`` (defaulting to the config's own)."""
+        prior = prior if prior is not None else self.prior
+        if prior is None:
+            raise ConfigurationError(
+                "this SenderConfig carries no prior; pass one to build_belief "
+                "/ build_sender or construct the config with prior=..."
+            )
+        return BeliefState.from_prior(
+            prior,
+            kernel=self.build_kernel(),
+            max_hypotheses=self.max_hypotheses,
+            start_time=start_time,
+            backend=self.belief_backend,
+        )
+
+    def build_planner(self, utility=None, rollout_backend: Optional[str] = None):
+        """The expected-utility planner this config describes.
+
+        ``utility`` and ``rollout_backend`` overrides exist for callers
+        like the policy-table precompute sweep, which runs the config's
+        planning problem through the vectorized lane engine regardless of
+        the configured runtime backend.
+        """
+        from repro.core.planner import ExpectedUtilityPlanner
+
+        return ExpectedUtilityPlanner(
+            utility if utility is not None else self.build_utility(),
+            packet_bits=self.packet_bits,
+            horizon=self.horizon,
+            horizon_service_multiples=self.horizon_service_multiples,
+            top_k=self.top_k,
+            rollout_backend=(
+                rollout_backend if rollout_backend is not None else self.rollout_backend
+            ),
+        )
+
+    # ---------------------------------------------------------------- identity
+
+    def describe(self) -> dict:
+        """A canonical, JSON-serializable description of this config.
+
+        The prior is described by its full discrete support — sorted
+        parameter assignments with probabilities — so two priors built by
+        different code paths fingerprint identically iff they put the same
+        mass on the same configurations.
+        """
+        config_fields = {
+            spec.name: getattr(self, spec.name)
+            for spec in dataclass_fields(self)
+            if spec.name != "prior"
+        }
+        description: dict = {"version": FINGERPRINT_VERSION, "config": config_fields}
+        if self.prior is not None:
+            # Sorted support: two priors fingerprint identically iff they
+            # put the same mass on the same configurations, regardless of
+            # the grids' enumeration order.
+            description["prior"] = sorted(
+                [sorted(assignment.items()), probability]
+                for assignment, probability in self.prior.combinations()
+            )
+        else:
+            description["prior"] = None
+        return description
+
+    def fingerprint(self) -> str:
+        """A stable hex digest identifying this config (and its prior).
+
+        Keys serialized :class:`~repro.api.policy.PolicyTable` files: a
+        table precomputed for one fingerprint refuses to load against a
+        different config.
+        """
+        canonical = json.dumps(self.describe(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

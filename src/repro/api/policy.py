@@ -1,0 +1,346 @@
+"""§3.3 as a subsystem: precomputed policy tables.
+
+The paper observes that "for a particular model and distribution of
+possible states, there will be a policy that can be computed in advance
+that prescribes the utility-maximizing behavior".  The repo previously
+approximated this with :class:`~repro.core.policy.PolicyCache` — a runtime
+memo that forgets everything between processes.  This module promotes the
+observation to a first-class artifact:
+
+* :class:`PolicyTable` maps discretized belief signatures (the same digest
+  :meth:`~repro.inference.belief.BeliefState.decision_signature` the cache
+  uses) to precomputed :class:`~repro.core.planner.Decision` objects.  It
+  plugs into :class:`~repro.core.isender.ISender` through the same
+  ``policy=`` slot as the cache; signatures outside the table fall back to
+  live planning (and are learned, so the table keeps densifying).
+* :func:`precompute_policy_table` computes the table **offline**: a pilot
+  run of the config's own planning problem on the Figure-2 topology visits
+  the signatures the inference transient produces, then a burst-grid sweep
+  densifies the queue-occupancy axis of the signature grid around the
+  converged belief.  The sweep's decisions are computed through the
+  vectorized rollout lanes by default (PR 3's engine), which is what makes
+  precomputation cheap enough to run per config.
+* Tables serialize to canonical JSON keyed by
+  :meth:`~repro.api.config.SenderConfig.fingerprint`, so a table computed
+  once can ship with an experiment and refuses to load against a config it
+  was not computed for.
+
+The steady-state decide path through a populated table is a signature
+computation plus one dict lookup — the ``BENCH_policy.json`` record gates
+it at ≥5× faster than uncached planning.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.actions import Action
+from repro.core.planner import Decision, ExpectedUtilityPlanner
+from repro.core.policy import PolicyCache
+from repro.errors import ConfigurationError
+from repro.inference.belief import BeliefState
+from repro.inference.prior import Prior
+
+#: Serialization format version, bumped on incompatible layout changes.
+TABLE_SCHEMA_VERSION = 1
+
+#: Sequence-number base for synthetic sweep sends, clear of any real run.
+_SWEEP_SEQ_BASE = 2_000_000
+
+
+class PolicyTable(PolicyCache):
+    """Precomputed utility-maximizing decisions over belief signatures.
+
+    A :class:`~repro.core.policy.PolicyCache` whose decide/learn/evict
+    mechanics are inherited, specialized for the offline §3.3 workflow:
+    the signature ``top_k`` is frozen at precompute time (a deserialized
+    table keys exactly as it was computed, whatever planner is attached
+    later), the fallback planner is optional until attached, learning can
+    be frozen, and the entries serialize to JSON keyed by the owning
+    config's fingerprint.
+
+    Parameters
+    ----------
+    planner:
+        The planner consulted when a signature is missing from the table
+        (and used for ``top_k`` unless the table was deserialized with its
+        own).  ``None`` is allowed for a bare deserialized table; attach a
+        planner with :meth:`with_planner` before deciding.
+    queue_resolution_bits:
+        Queue-occupancy resolution of the belief signature (same meaning as
+        :class:`~repro.core.policy.PolicyCache`).
+    fingerprint:
+        The owning :meth:`~repro.api.config.SenderConfig.fingerprint`;
+        stored in the JSON artifact and checked on load.
+    learn:
+        Whether live-planned fallback decisions are added to the table.
+    max_entries:
+        Hard cap on the table size (oldest entries evicted first).
+    """
+
+    def __init__(
+        self,
+        planner: Optional[ExpectedUtilityPlanner] = None,
+        queue_resolution_bits: float = 3_000.0,
+        *,
+        top_k: Optional[int] = None,
+        fingerprint: str = "",
+        learn: bool = True,
+        max_entries: int = 65_536,
+    ) -> None:
+        if queue_resolution_bits <= 0:
+            raise ConfigurationError("queue_resolution_bits must be positive")
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be at least 1")
+        if top_k is None:
+            if planner is None:
+                raise ConfigurationError(
+                    "a PolicyTable needs either a planner or an explicit top_k"
+                )
+            top_k = planner.top_k
+        super().__init__(
+            planner,
+            queue_resolution_bits=queue_resolution_bits,
+            max_entries=max_entries,
+        )
+        self.top_k = top_k
+        self.fingerprint = fingerprint
+        self.learn = learn
+
+    # ------------------------------------------------------------------ decide
+
+    def _belief_key(self, belief: BeliefState) -> tuple:
+        # Unlike the runtime cache, the signature width is frozen at the
+        # table's own top_k, not the attached planner's.
+        return belief.decision_signature(self.top_k, self.queue_resolution_bits)
+
+    def _plan(self, belief: BeliefState, now: float) -> Decision:
+        if self.planner is None:
+            raise ConfigurationError(
+                "this PolicyTable has no fallback planner attached; call "
+                "with_planner(...) before deciding on signatures outside "
+                "the table"
+            )
+        return self.planner.decide(belief, now)
+
+    def seed(self, belief: BeliefState, now: float) -> Decision:
+        """Precompute and store the decision for ``belief`` (sweep helper).
+
+        Unlike :meth:`decide` this does not touch the hit/miss counters —
+        it is the offline path :func:`precompute_policy_table` drives.
+        """
+        key = self._belief_key(belief)
+        decision = self._cache.get(key)
+        if decision is None:
+            if self.planner is None:
+                raise ConfigurationError("cannot seed a PolicyTable without a planner")
+            decision = self.planner.decide(belief, now)
+            self._store(key, decision)
+        return decision
+
+    # --------------------------------------------------------------- plumbing
+
+    def with_planner(self, planner: ExpectedUtilityPlanner) -> "PolicyTable":
+        """Attach the runtime fallback planner; returns the table itself."""
+        self.planner = planner
+        return self
+
+    def contains(self, belief: BeliefState) -> bool:
+        """Whether the belief's current signature has a precomputed decision."""
+        return self._belief_key(belief) in self._cache
+
+    # ------------------------------------------------------------ serialization
+
+    def to_payload(self) -> dict:
+        """The canonical JSON-serializable form of this table."""
+        entries = []
+        for key, decision in self._cache.items():
+            entries.append(
+                {
+                    "key": key,
+                    "delay": decision.action.delay,
+                    "horizon": decision.horizon,
+                    "hypotheses_evaluated": decision.hypotheses_evaluated,
+                    "expected_utilities": sorted(decision.expected_utilities.items()),
+                }
+            )
+        return {
+            "schema": TABLE_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "queue_resolution_bits": self.queue_resolution_bits,
+            "top_k": self.top_k,
+            "entries": entries,
+        }
+
+    def to_json(self, path: str | Path) -> Path:
+        """Write the table to ``path`` as canonical JSON."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_payload(), sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: dict,
+        planner: Optional[ExpectedUtilityPlanner] = None,
+        expected_fingerprint: Optional[str] = None,
+        learn: bool = True,
+    ) -> "PolicyTable":
+        """Rebuild a table from :meth:`to_payload` output."""
+        if payload.get("schema") != TABLE_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported policy-table schema {payload.get('schema')!r} "
+                f"(this build reads version {TABLE_SCHEMA_VERSION})"
+            )
+        fingerprint = payload.get("fingerprint", "")
+        if expected_fingerprint is not None and fingerprint != expected_fingerprint:
+            raise ConfigurationError(
+                f"policy table was precomputed for config fingerprint "
+                f"{fingerprint!r}, not {expected_fingerprint!r}; recompute it "
+                "with precompute_policy_table(config)"
+            )
+        table = cls(
+            planner,
+            queue_resolution_bits=float(payload["queue_resolution_bits"]),
+            top_k=int(payload["top_k"]),
+            fingerprint=fingerprint,
+            learn=learn,
+        )
+        for entry in payload["entries"]:
+            decision = Decision(
+                action=Action(float(entry["delay"])),
+                expected_utilities={
+                    float(delay): float(value)
+                    for delay, value in entry["expected_utilities"]
+                },
+                hypotheses_evaluated=int(entry["hypotheses_evaluated"]),
+                horizon=float(entry["horizon"]),
+            )
+            table._cache[_tuplify(entry["key"])] = decision
+        return table
+
+    @classmethod
+    def from_json(
+        cls,
+        path: str | Path,
+        planner: Optional[ExpectedUtilityPlanner] = None,
+        expected_fingerprint: Optional[str] = None,
+        learn: bool = True,
+    ) -> "PolicyTable":
+        """Load a table written by :meth:`to_json`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_payload(
+            payload,
+            planner=planner,
+            expected_fingerprint=expected_fingerprint,
+            learn=learn,
+        )
+
+
+def _tuplify(value):
+    """Recursively convert JSON lists back into the signature's tuples."""
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
+def precompute_policy_table(
+    config,
+    prior: Optional[Prior] = None,
+    *,
+    queue_resolution_bits: Optional[float] = None,
+    pilot_duration: float = 30.0,
+    seed: int = 1,
+    switch_interval: float = 30.0,
+    link_rate_bps: float = 12_000.0,
+    cross_fraction: float = 0.7,
+    loss_rate: float = 0.2,
+    buffer_capacity_bits: float = 96_000.0,
+    burst_levels: Sequence[int] = (0, 1, 2, 3, 4, 6, 8, 11, 14),
+    sweep_backend: str = "vectorized",
+) -> PolicyTable:
+    """Compute a :class:`PolicyTable` for ``config`` ahead of time (§3.3).
+
+    Two coverage passes populate the table:
+
+    1. **Pilot run** — the config's sender runs on a shortened Figure-2
+       scenario (the distribution of states the paper's "particular model"
+       language refers to), learning a decision for every belief signature
+       the inference transient and steady state visit.
+    2. **Burst-grid sweep** — from the pilot's converged belief, a grid of
+       queued send bursts sweeps the queue-occupancy axis of the signature
+       space; each grid point's decision is computed through the
+       ``sweep_backend`` rollout engine (vectorized lanes by default, the
+       engine PR 3 built for exactly this fan-out).
+
+    The returned table keeps ``learn=True`` so runtime misses continue to
+    densify it, and carries ``config.fingerprint()`` for serialization.
+    """
+    from repro.topology.presets import figure2_network
+
+    prior = prior if prior is not None else config.prior
+    if prior is None:
+        raise ConfigurationError(
+            "precompute_policy_table needs a prior: pass one explicitly or "
+            "construct the SenderConfig with prior=..."
+        )
+    if queue_resolution_bits is None:
+        queue_resolution_bits = config.policy_resolution_bits
+
+    # The stored fingerprint must cover the prior actually swept, including
+    # one passed explicitly over a prior-less config — otherwise two tables
+    # computed for different priors would share an identity.
+    config = config.with_prior(prior)
+    planner = config.build_planner(rollout_backend=sweep_backend)
+    table = PolicyTable(
+        planner,
+        queue_resolution_bits=queue_resolution_bits,
+        fingerprint=config.fingerprint(),
+        learn=True,
+    )
+
+    # Pass 1: pilot run on the Figure-2 scenario, decisions recorded by the
+    # learning table itself.
+    from repro.core.isender import ISender
+
+    network = figure2_network(
+        link_rate_bps=link_rate_bps,
+        cross_fraction=cross_fraction,
+        loss_rate=loss_rate,
+        buffer_capacity_bits=buffer_capacity_bits,
+        switch_interval=switch_interval,
+        packet_bits=config.packet_bits,
+        seed=seed,
+    )
+    belief = config.build_belief()
+    sender = ISender(
+        belief,
+        planner,
+        network.sender_receiver,
+        flow=network.sender_flow,
+        packet_bits=config.packet_bits,
+        policy=table,
+    )
+    sender.connect(network.entry)
+    network.network.add(sender)
+    network.network.run(until=pilot_duration)
+
+    # Pass 2: burst-grid sweep over queue occupancy around the converged
+    # belief.  Each level forks the pilot's final belief, queues that many
+    # sends, and seeds the resulting signature's decision.
+    for level in burst_levels:
+        forked = copy.deepcopy(belief)
+        for index in range(level):
+            forked.record_send(
+                _SWEEP_SEQ_BASE + index, config.packet_bits, pilot_duration
+            )
+        forked.update(pilot_duration)
+        table.seed(forked, pilot_duration)
+
+    return table

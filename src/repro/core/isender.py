@@ -50,8 +50,15 @@ class ISender(SourceElement):
     belief:
         The sender's belief over network configurations.
     planner:
-        The expected-utility planner (wrap it in a
-        :class:`~repro.core.policy.PolicyCache` by passing ``use_policy_cache``).
+        The expected-utility planner.
+    policy:
+        Optional decision policy consulted *instead of* the planner at each
+        wake-up — anything with ``decide(belief, now)`` that falls back to
+        the planner itself, i.e. a :class:`~repro.core.policy.PolicyCache`
+        (runtime memoization) or a precomputed
+        :class:`~repro.api.policy.PolicyTable` (§3.3).  ``None`` plans live.
+        ``use_policy_cache=True`` is the older spelling of
+        ``policy=PolicyCache(planner)`` and is kept as a shim.
     receiver:
         The Receiver at the far end of the network; the sender registers
         itself for acknowledgement callbacks.
@@ -78,15 +85,24 @@ class ISender(SourceElement):
         stop_time: Optional[float] = None,
         max_sends_per_wake: int = 64,
         use_policy_cache: bool = False,
+        policy=None,
     ) -> None:
         if packet_bits <= 0:
             raise ConfigurationError(f"packet_bits must be positive, got {packet_bits!r}")
         if max_sends_per_wake < 1:
             raise ConfigurationError("max_sends_per_wake must be at least 1")
+        if policy is not None and use_policy_cache:
+            raise ConfigurationError(
+                "pass either policy=... or use_policy_cache=True, not both"
+            )
         super().__init__(name or "isender")
         self.belief = belief
         self.planner = planner
-        self._decider = PolicyCache(planner) if use_policy_cache else planner
+        if policy is None and use_policy_cache:
+            policy = PolicyCache(planner)
+        #: The active decision policy (cache or table), ``None`` when live.
+        self.policy = policy
+        self._decider = policy if policy is not None else planner
         self.receiver = receiver
         self.flow = flow
         self.packet_bits = float(packet_bits)

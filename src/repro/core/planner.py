@@ -7,12 +7,14 @@ whose expected utility — the probability-weighted average over hypotheses —
 is largest.  Ties are broken toward the longer delay, so a sender that is
 indifferent does not flood the network.
 
-Two rollout backends implement the (action × hypothesis) fan-out:
+Rollout backends implement the (action × hypothesis) fan-out and resolve
+through the :data:`~repro.api.backends.ROLLOUT_BACKENDS` registry (each
+engine is a callable ``engine(planner, belief, now) -> Decision``):
 
-* ``"scalar"`` — the reference oracle: one
+* ``"scalar"`` — the reference oracle registered below: one
   :meth:`~repro.inference.hypothesis.Hypothesis.rollout` (clone + advance a
   scalar ``LinkModel``) per lane;
-* ``"vectorized"`` — the batched engine in
+* ``"vectorized"`` — the batched engine registered by
   :mod:`repro.inference.vectorized.rollout`: all A×K lanes advance together
   through one masked event frontier, and the utility values every lane at
   once via ``evaluate_batch``.  When the belief backend is also vectorized,
@@ -25,14 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.api.backends import ROLLOUT_BACKENDS
 from repro.core.actions import Action, ActionGrid
 from repro.core.utility import UtilityFunction
 from repro.errors import ConfigurationError
 from repro.inference.belief import BeliefState
 from repro.units import DEFAULT_PACKET_BITS
-
-#: Rollout backends the planner accepts.
-ROLLOUT_BACKENDS = ("scalar", "vectorized")
 
 
 @dataclass(slots=True)
@@ -99,8 +99,12 @@ class ExpectedUtilityPlanner:
         Number of highest-weight hypotheses to evaluate (the rest contribute
         negligibly and are skipped for speed).
     rollout_backend:
-        ``"scalar"`` (per-lane ``Hypothesis.rollout``, the reference oracle)
-        or ``"vectorized"`` (the batched lane engine).
+        Name of a registered rollout engine — ``"scalar"`` (per-lane
+        ``Hypothesis.rollout``, the reference oracle) or ``"vectorized"``
+        (the batched lane engine).  Resolved through
+        :data:`~repro.api.backends.ROLLOUT_BACKENDS` at construction, so an
+        unknown name raises :class:`~repro.errors.UnknownBackendError`
+        immediately, listing the registered engines.
     """
 
     def __init__(
@@ -121,11 +125,7 @@ class ExpectedUtilityPlanner:
             raise ConfigurationError(f"horizon must be positive, got {horizon!r}")
         if horizon_service_multiples <= 0:
             raise ConfigurationError("horizon_service_multiples must be positive")
-        if rollout_backend not in ROLLOUT_BACKENDS:
-            raise ConfigurationError(
-                f"unknown rollout backend {rollout_backend!r}; "
-                f"expected one of {ROLLOUT_BACKENDS}"
-            )
+        self._rollout_engine = ROLLOUT_BACKENDS.resolve(rollout_backend)
         self.utility = utility
         self.action_grid = action_grid if action_grid is not None else ActionGrid()
         self.packet_bits = packet_bits
@@ -139,94 +139,12 @@ class ExpectedUtilityPlanner:
     # -------------------------------------------------------------- decisions
 
     def decide(self, belief: BeliefState, now: float) -> Decision:
-        """Return the utility-maximizing action at time ``now``."""
-        if self.rollout_backend == "vectorized":
-            return self._decide_vectorized(belief, now)
-        return self._decide_scalar(belief, now)
+        """Return the utility-maximizing action at time ``now``.
 
-    def _decide_scalar(self, belief: BeliefState, now: float) -> Decision:
-        top = belief.top(self.top_k)
-        summary = self._summarize_hypotheses(top)
-        actions = self.action_grid.actions(summary.service_time)
-        horizon = self._horizon_from(summary)
-        total_weight = summary.total_weight
-
-        expected: dict[float, float] = {}
-        for action in actions:
-            accumulated = 0.0
-            for hypothesis, weight in top:
-                outcome = hypothesis.rollout(
-                    action_delay=action.delay,
-                    horizon=horizon,
-                    packet_bits=self.packet_bits,
-                    now=now,
-                )
-                self.rollouts_performed += 1
-                accumulated += (weight / total_weight) * self.utility.evaluate(outcome)
-            expected[action.delay] = accumulated
-
-        best_action = self._argmax_prefer_longer_delay(actions, expected)
-        return Decision(
-            action=best_action,
-            expected_utilities=expected,
-            hypotheses_evaluated=summary.count,
-            horizon=horizon,
-        )
-
-    def _decide_vectorized(self, belief: BeliefState, now: float) -> Decision:
-        from repro.inference.vectorized import rollout as batched
-
-        top_rows = getattr(belief, "top_rows", None)
-        if top_rows is not None:
-            rows, weights = top_rows(self.top_k)
-            state = belief.state
-            summary = self._summarize_rows(state, rows, weights)
-            lanes = batched.pack_rows(state, rows)
-        else:
-            top = belief.top(self.top_k)
-            summary = self._summarize_hypotheses(top)
-            lanes = batched.pack_hypotheses([hypothesis for hypothesis, _ in top])
-
-        actions = self.action_grid.actions(summary.service_time)
-        horizon = self._horizon_from(summary)
-        outcome = batched.batched_rollout(
-            lanes,
-            [action.delay for action in actions],
-            horizon,
-            self.packet_bits,
-            now,
-        )
-        self.rollouts_performed += outcome.lanes
-
-        evaluate_batch = getattr(self.utility, "evaluate_batch", None)
-        if evaluate_batch is not None:
-            values = evaluate_batch(outcome).tolist()
-        else:
-            # Custom utility without a batch path: value each lane through
-            # the scalar evaluate (still avoids per-lane model rollouts).
-            values = [
-                self.utility.evaluate(outcome.lane_outcome(lane))
-                for lane in range(outcome.lanes)
-            ]
-
-        count = summary.count
-        total_weight = summary.total_weight
-        weights = summary.weights
-        expected: dict[float, float] = {}
-        for index, action in enumerate(actions):
-            accumulated = 0.0
-            base = index * count
-            for position in range(count):
-                accumulated += (weights[position] / total_weight) * values[base + position]
-            expected[action.delay] = accumulated
-
-        best_action = self._argmax_prefer_longer_delay(actions, expected)
-        return Decision(
-            action=best_action,
-            expected_utilities=expected,
-            hypotheses_evaluated=count,
-            horizon=horizon,
-        )
+        Dispatches to the rollout engine resolved at construction from
+        :data:`~repro.api.backends.ROLLOUT_BACKENDS`.
+        """
+        return self._rollout_engine(self, belief, now)
 
     # ----------------------------------------------------------------- helpers
 
@@ -309,3 +227,37 @@ class ExpectedUtilityPlanner:
             elif abs(value - best_value) <= tolerance:
                 best = action  # prefer the longer delay on ties
         return best
+
+
+@ROLLOUT_BACKENDS.register("scalar")
+def decide_scalar(
+    planner: ExpectedUtilityPlanner, belief: BeliefState, now: float
+) -> Decision:
+    """The reference rollout engine: one scalar model clone per lane."""
+    top = belief.top(planner.top_k)
+    summary = planner._summarize_hypotheses(top)
+    actions = planner.action_grid.actions(summary.service_time)
+    horizon = planner._horizon_from(summary)
+    total_weight = summary.total_weight
+
+    expected: dict[float, float] = {}
+    for action in actions:
+        accumulated = 0.0
+        for hypothesis, weight in top:
+            outcome = hypothesis.rollout(
+                action_delay=action.delay,
+                horizon=horizon,
+                packet_bits=planner.packet_bits,
+                now=now,
+            )
+            planner.rollouts_performed += 1
+            accumulated += (weight / total_weight) * planner.utility.evaluate(outcome)
+        expected[action.delay] = accumulated
+
+    best_action = planner._argmax_prefer_longer_delay(actions, expected)
+    return Decision(
+        action=best_action,
+        expected_utilities=expected,
+        hypotheses_evaluated=summary.count,
+        horizon=horizon,
+    )

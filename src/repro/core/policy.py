@@ -2,12 +2,15 @@
 
 The paper notes (§3.3) that "for a particular model and distribution of
 possible states, there will be a policy that can be computed in advance that
-prescribes the utility-maximizing behavior".  :class:`PolicyCache` is a
-pragmatic version of that observation: it memoizes planner decisions keyed
+prescribes the utility-maximizing behavior".  :class:`PolicyCache` is the
+*runtime* version of that observation: it memoizes planner decisions keyed
 on a coarse digest of the belief state, so repeated visits to effectively
 identical situations (for example the steady state once the parameters have
 been inferred) reuse the earlier computation instead of re-simulating every
-action.
+action.  The *offline* version — a table precomputed ahead of the run and
+serializable between processes — is :class:`repro.api.policy.PolicyTable`;
+both plug into :class:`~repro.core.isender.ISender` through the same
+``policy=`` slot (``SenderConfig(policy="cache" | "table")``).
 """
 
 from __future__ import annotations
@@ -33,6 +36,9 @@ class PolicyCache:
         Hard cap on the cache size (oldest entries are evicted first).
     """
 
+    #: Whether fallback-planned decisions are stored (subclasses may freeze).
+    learn = True
+
     def __init__(
         self,
         planner: ExpectedUtilityPlanner,
@@ -54,11 +60,20 @@ class PolicyCache:
             self.hits += 1
             return cached
         self.misses += 1
-        decision = self.planner.decide(belief, now)
+        decision = self._plan(belief, now)
+        if self.learn:
+            self._store(key, decision)
+        return decision
+
+    def _plan(self, belief: BeliefState, now: float) -> Decision:
+        """Compute a decision for a signature the store does not cover."""
+        return self.planner.decide(belief, now)
+
+    def _store(self, key: Hashable, decision: Decision) -> None:
+        """Insert one entry, evicting the oldest at the size cap."""
         if len(self._cache) >= self.max_entries:
             self._cache.pop(next(iter(self._cache)))
         self._cache[key] = decision
-        return decision
 
     def clear(self) -> None:
         """Drop every cached decision."""

@@ -38,5 +38,17 @@ class ConfigurationError(ReproError):
     """An experiment, prior, or utility function received invalid parameters."""
 
 
+class UnknownBackendError(ConfigurationError, InferenceError):
+    """A ``belief_backend`` / ``rollout_backend`` name is not registered.
+
+    Raised eagerly at :class:`~repro.api.config.SenderConfig` construction
+    (and by :meth:`~repro.api.backends.BackendRegistry.resolve`) with the
+    list of registered names.  Derives from both
+    :class:`ConfigurationError` and :class:`InferenceError` so callers that
+    guarded the old entry points (``ExpectedUtilityPlanner`` raised the
+    former, ``BeliefState.for_backend`` the latter) keep working.
+    """
+
+
 class UtilityError(ReproError):
     """A utility function received invalid parameters or inputs."""

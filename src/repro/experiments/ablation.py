@@ -8,24 +8,44 @@ decision memoization — and this module measures what each one costs or buys
 on a shortened Figure-3-style scenario: wall-clock time, number of planner
 rollouts, whether the sender still identifies the true link speed, and the
 posterior probability mass it places on that true value.
+
+Configurations are named :class:`~repro.api.config.SenderConfig` points
+(:class:`AblationPoint`); the older :class:`AblationConfig` survives as a
+deprecated adapter that constructs one.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Sequence
 
-from repro.core import AlphaWeightedUtility, ExpectedUtilityPlanner, ISender
-from repro.inference import BeliefState, ExactMatchKernel, GaussianKernel, figure3_prior
+from repro.api.config import SenderConfig
+from repro.api.policy import precompute_policy_table
+from repro.api.sender import build_sender
+from repro.inference import figure3_prior
 from repro.metrics.summary import ExperimentRow
 from repro.runner.backends import RunnerBackend, SerialRunner
 from repro.topology.presets import figure2_network
-from repro.units import DEFAULT_PACKET_BITS
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One named configuration of the inference/planning approximations."""
+
+    label: str
+    config: SenderConfig
 
 
 @dataclass
 class AblationConfig:
-    """One configuration of the inference/planning approximations."""
+    """Deprecated: use :class:`AblationPoint` with a ``SenderConfig``.
+
+    Kept as a field-compatible adapter; construction warns and
+    :meth:`to_point` produces the canonical representation (the sweep
+    itself always runs through :func:`repro.api.build_sender`).
+    """
 
     label: str
     kernel: str = "gaussian"  # "gaussian" or "exact"
@@ -36,12 +56,48 @@ class AblationConfig:
     backend: str = "scalar"  # "scalar" or "vectorized" belief engine
     rollout_backend: str = "scalar"  # "scalar" or "vectorized" planner fan-out
 
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "AblationConfig is deprecated; construct an AblationPoint with a "
+            "repro.api.SenderConfig instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def to_point(self, alpha: float = 1.0) -> AblationPoint:
+        """The canonical :class:`AblationPoint` equivalent."""
+        return AblationPoint(
+            label=self.label,
+            config=SenderConfig(
+                alpha=alpha,
+                discount_timescale=20.0,
+                kernel=self.kernel,
+                kernel_scale=self.kernel_scale,
+                max_hypotheses=self.max_hypotheses,
+                top_k=self.top_k,
+                belief_backend=self.backend,
+                rollout_backend=self.rollout_backend,
+                policy="cache" if self.use_policy_cache else "none",
+            ),
+        )
+
+
+def _as_point(config: "AblationPoint | AblationConfig | tuple") -> AblationPoint:
+    """Normalize sweep inputs: AblationPoint, deprecated AblationConfig, or
+    a bare ``(label, SenderConfig)`` pair."""
+    if isinstance(config, AblationPoint):
+        return config
+    if isinstance(config, AblationConfig):
+        return config.to_point()
+    label, sender_config = config
+    return AblationPoint(label=label, config=sender_config)
+
 
 @dataclass
 class AblationOutcome:
     """Measurements for one configuration."""
 
-    config: AblationConfig
+    config: AblationPoint
     wall_time: float
     packets_sent: int
     goodput_bps: float
@@ -49,6 +105,12 @@ class AblationOutcome:
     final_hypotheses: int
     degenerate_updates: int
     posterior_true_link_rate: float
+    policy_hits: int = 0
+    policy_misses: int = 0
+
+    @property
+    def label(self) -> str:
+        return self.config.label
 
     def row(self) -> ExperimentRow:
         return ExperimentRow(
@@ -76,29 +138,45 @@ class AblationResult:
         return [outcome.row() for outcome in self.outcomes]
 
 
-DEFAULT_CONFIGS = (
-    AblationConfig(label="gaussian kernel / 200 hyps"),
-    AblationConfig(label="gaussian kernel / 50 hyps", max_hypotheses=50, top_k=8),
-    AblationConfig(label="exact (rejection) kernel", kernel="exact", kernel_scale=0.75),
-    AblationConfig(label="policy cache", use_policy_cache=True),
+DEFAULT_CONFIGS: tuple[AblationPoint, ...] = (
+    AblationPoint("gaussian kernel / 200 hyps", SenderConfig()),
+    AblationPoint(
+        "gaussian kernel / 50 hyps", SenderConfig(max_hypotheses=50, top_k=8)
+    ),
+    AblationPoint(
+        "exact (rejection) kernel", SenderConfig(kernel="exact", kernel_scale=0.75)
+    ),
+    AblationPoint("policy cache", SenderConfig(policy="cache")),
 )
 
 
-def run_ablation_config(
-    config: AblationConfig,
+def run_ablation_point(
+    label: str,
+    config: SenderConfig,
     duration: float = 60.0,
     switch_interval: float = 30.0,
     link_rate_bps: float = 12_000.0,
     loss_rate: float = 0.2,
-    alpha: float = 1.0,
     seed: int = 2,
-    packet_bits: float = DEFAULT_PACKET_BITS,
+    packet_bits: float | None = None,
 ) -> AblationOutcome:
-    """Run the shortened Figure-3 scenario under one approximation config.
+    """Run the shortened Figure-3 scenario under one sender configuration.
 
     Module-level and picklable so the ablation sweep can run through any
-    scenario-runner backend.
+    scenario-runner backend; the sender is built through the canonical
+    :func:`repro.api.build_sender` path.  ``packet_bits`` sizes the
+    network's packets and, when given, overrides the config's; ``None``
+    (the default) respects ``config.packet_bits``.
+
+    With ``policy="table"`` the policy table is precomputed on *this
+    scenario's* parameters (same link rate / loss / switching, a disjoint
+    pilot seed) before the measured run starts — precomputation is the
+    §3.3 offline step, so its cost is deliberately outside ``wall_time``.
     """
+    if packet_bits is None:
+        packet_bits = config.packet_bits
+    else:
+        config = replace(config, packet_bits=packet_bits)
     network = figure2_network(
         link_rate_bps=link_rate_bps,
         loss_rate=loss_rate,
@@ -114,36 +192,24 @@ def run_ablation_config(
         fill_points=1,
         packet_bits=packet_bits,
     )
-    if config.kernel == "exact":
-        kernel = ExactMatchKernel(tolerance=config.kernel_scale)
-    else:
-        kernel = GaussianKernel(sigma=config.kernel_scale)
-    belief = BeliefState.from_prior(
-        prior,
-        kernel=kernel,
-        max_hypotheses=config.max_hypotheses,
-        backend=config.backend,
-    )
-    planner = ExpectedUtilityPlanner(
-        AlphaWeightedUtility(alpha=alpha, discount_timescale=20.0),
-        packet_bits=packet_bits,
-        top_k=config.top_k,
-        rollout_backend=config.rollout_backend,
-    )
-    sender = ISender(
-        belief,
-        planner,
-        network.sender_receiver,
-        packet_bits=packet_bits,
-        use_policy_cache=config.use_policy_cache,
-    )
-    sender.connect(network.entry)
-    network.network.add(sender)
+    policy_table = None
+    if config.policy == "table":
+        policy_table = precompute_policy_table(
+            config,
+            prior,
+            pilot_duration=duration,
+            seed=seed + 1_000,  # held-out: never the measured run's seed
+            switch_interval=switch_interval,
+            link_rate_bps=link_rate_bps,
+            loss_rate=loss_rate,
+        )
+    sender = build_sender(config, network, prior=prior, policy_table=policy_table)
 
     started = time.perf_counter()
     network.network.run(until=duration)
     elapsed = time.perf_counter() - started
 
+    belief = sender.belief
     marginal = belief.posterior_marginal("link_rate_bps")
     true_mass = sum(
         probability
@@ -151,49 +217,97 @@ def run_ablation_config(
         if abs(value - link_rate_bps) < 1e-6
     )
     return AblationOutcome(
-        config=config,
+        config=AblationPoint(label=label, config=config),
         wall_time=elapsed,
         packets_sent=sender.packets_sent,
         goodput_bps=network.sender_receiver.throughput_bps(0.0, duration),
-        rollouts=planner.rollouts_performed,
+        rollouts=sender.planner.rollouts_performed,
         final_hypotheses=len(belief),
         degenerate_updates=belief.degenerate_updates,
         posterior_true_link_rate=true_mass,
+        policy_hits=getattr(sender.policy, "hits", 0),
+        policy_misses=getattr(sender.policy, "misses", 0),
     )
 
 
-def run_inference_ablation(
-    configs: tuple[AblationConfig, ...] = DEFAULT_CONFIGS,
+def run_ablation_config(
+    config: "AblationConfig | AblationPoint",
     duration: float = 60.0,
     switch_interval: float = 30.0,
     link_rate_bps: float = 12_000.0,
     loss_rate: float = 0.2,
-    alpha: float = 1.0,
+    alpha: float | None = None,
     seed: int = 2,
-    packet_bits: float = DEFAULT_PACKET_BITS,
+    packet_bits: float | None = None,
+) -> AblationOutcome:
+    """Deprecated-compatible wrapper over :func:`run_ablation_point`.
+
+    ``alpha`` keeps the old sweep-level semantics: when given, it
+    overrides the point's configured α (an :class:`AblationConfig` has no
+    α of its own, so it defaults to the old 1.0 there).
+    """
+    if isinstance(config, AblationConfig):
+        point = config.to_point(alpha=alpha if alpha is not None else 1.0)
+    elif alpha is not None:
+        point = AblationPoint(config.label, replace(config.config, alpha=alpha))
+    else:
+        point = config
+    return run_ablation_point(
+        point.label,
+        point.config,
+        duration=duration,
+        switch_interval=switch_interval,
+        link_rate_bps=link_rate_bps,
+        loss_rate=loss_rate,
+        seed=seed,
+        packet_bits=packet_bits,
+    )
+
+
+def run_inference_ablation(
+    configs: Sequence["AblationPoint | AblationConfig | tuple"] = DEFAULT_CONFIGS,
+    duration: float = 60.0,
+    switch_interval: float = 30.0,
+    link_rate_bps: float = 12_000.0,
+    loss_rate: float = 0.2,
+    alpha: float | None = None,
+    seed: int = 2,
+    packet_bits: float | None = None,
     runner: RunnerBackend | None = None,
 ) -> AblationResult:
     """Run the shortened Figure-3 scenario once per ablation configuration.
 
-    ``runner`` selects the sweep's execution backend (serial by default;
-    pass a :class:`~repro.runner.backends.ParallelRunner` to fan the
+    ``configs`` items are :class:`AblationPoint` (or ``(label,
+    SenderConfig)`` pairs; deprecated :class:`AblationConfig` objects are
+    adapted).  ``alpha`` keeps the old sweep-level semantics: when given,
+    it overrides every point's configured α (deprecated
+    :class:`AblationConfig` items, which carry no α, get it either way —
+    1.0 when unset, as before).  ``runner`` selects the sweep's execution
+    backend (serial by default; pass a
+    :class:`~repro.runner.backends.ParallelRunner` to fan the
     configurations out over workers).
     """
     if runner is None:
         runner = SerialRunner()
+    points = []
+    for config in configs:
+        point = _as_point(config)
+        if alpha is not None:
+            point = AblationPoint(point.label, replace(point.config, alpha=alpha))
+        points.append(point)
     tasks = [
         {
-            "config": config,
+            "label": point.label,
+            "config": point.config,
             "duration": duration,
             "switch_interval": switch_interval,
             "link_rate_bps": link_rate_bps,
             "loss_rate": loss_rate,
-            "alpha": alpha,
             "seed": seed,
             "packet_bits": packet_bits,
         }
-        for config in configs
+        for point in points
     ]
     result = AblationResult(duration=duration)
-    result.outcomes.extend(runner.map(run_ablation_config, tasks))
+    result.outcomes.extend(runner.map(run_ablation_point, tasks))
     return result

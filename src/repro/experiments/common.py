@@ -1,31 +1,35 @@
-"""Shared helpers for the experiment runners."""
+"""Deprecated experiment-facing shims over :mod:`repro.api`.
+
+``SenderSettings`` was the experiments' pre-``repro.api`` configuration
+carrier; it survives as a thin adapter that constructs the canonical
+:class:`~repro.api.config.SenderConfig` (and warns).  ``attach_isender``
+likewise forwards to :func:`~repro.api.sender.build_sender`, which is the
+one construction path new code should call directly.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
-from repro.core import AlphaWeightedUtility, ExpectedUtilityPlanner, ISender
+from repro.api.config import SenderConfig
+from repro.api.sender import build_sender
+from repro.core import ISender
 from repro.core.utility import UtilityFunction
-from repro.inference import BeliefState, GaussianKernel, Prior
+from repro.inference import Prior
 from repro.topology.presets import Figure2Network, SingleLinkNetwork
 from repro.units import DEFAULT_PACKET_BITS
 
 
 @dataclass(frozen=True)
 class SenderSettings:
-    """Knobs of the model-based sender shared by several experiments.
+    """Deprecated: construct a :class:`repro.api.SenderConfig` instead.
 
-    ``discount_timescale`` and ``horizon`` trade off how strongly the
-    sender's utility weighs harm inflicted on cross traffic against its own
-    immediate throughput; the defaults are the calibration used for the
-    Figure-3 reproduction (see EXPERIMENTS.md).  ``belief_backend`` selects
-    the inference engine: ``"scalar"`` (the per-object reference path) or
-    ``"vectorized"`` (the NumPy struct-of-arrays ensemble).
-    ``rollout_backend`` selects the planner's fan-out engine the same way:
-    ``"scalar"`` rolls each (action × hypothesis) lane through a scalar
-    model clone; ``"vectorized"`` advances all lanes as one batched event
-    frontier (and, combined with ``belief_backend="vectorized"``, keeps the
-    whole decide path free of scalar ``Hypothesis`` objects).
+    Kept as a field-compatible adapter so existing call sites keep working;
+    construction emits a :class:`DeprecationWarning` and :meth:`to_config`
+    produces the equivalent ``SenderConfig`` (every build routes through
+    :func:`repro.api.build_sender`, so the two spellings construct
+    bit-identical senders).
     """
 
     alpha: float = 1.0
@@ -39,42 +43,53 @@ class SenderSettings:
     belief_backend: str = "scalar"
     rollout_backend: str = "scalar"
 
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "SenderSettings is deprecated; construct a repro.api.SenderConfig "
+            "and build senders with repro.api.build_sender",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def to_config(self, prior: Prior | None = None) -> SenderConfig:
+        """The canonical :class:`~repro.api.config.SenderConfig` equivalent."""
+        return SenderConfig(
+            prior=prior,
+            alpha=self.alpha,
+            discount_timescale=self.discount_timescale,
+            latency_penalty=self.latency_penalty,
+            kernel="gaussian",
+            kernel_scale=self.kernel_sigma,
+            max_hypotheses=self.max_hypotheses,
+            top_k=self.top_k,
+            packet_bits=self.packet_bits,
+            belief_backend=self.belief_backend,
+            rollout_backend=self.rollout_backend,
+            policy="cache" if self.use_policy_cache else "none",
+        )
+
+
+def as_sender_config(settings: "SenderSettings | SenderConfig | None") -> SenderConfig:
+    """Normalize the experiments' settings/config union to a SenderConfig."""
+    if settings is None:
+        return SenderConfig()
+    if isinstance(settings, SenderConfig):
+        return settings
+    return settings.to_config()
+
 
 def attach_isender(
     network: Figure2Network | SingleLinkNetwork,
     prior: Prior,
-    settings: SenderSettings,
+    settings: "SenderSettings | SenderConfig",
     utility: UtilityFunction | None = None,
     stop_time: float | None = None,
 ) -> ISender:
-    """Create an ISender over ``prior`` and wire it into a preset network."""
-    belief = BeliefState.from_prior(
-        prior,
-        kernel=GaussianKernel(sigma=settings.kernel_sigma),
-        max_hypotheses=settings.max_hypotheses,
-        backend=settings.belief_backend,
-    )
-    if utility is None:
-        utility = AlphaWeightedUtility(
-            alpha=settings.alpha,
-            discount_timescale=settings.discount_timescale,
-            latency_penalty=settings.latency_penalty,
-        )
-    planner = ExpectedUtilityPlanner(
-        utility,
-        packet_bits=settings.packet_bits,
-        top_k=settings.top_k,
-        rollout_backend=settings.rollout_backend,
-    )
-    sender = ISender(
-        belief,
-        planner,
-        network.sender_receiver,
-        flow=network.sender_flow,
-        packet_bits=settings.packet_bits,
+    """Deprecated shim: forwards to :func:`repro.api.build_sender`."""
+    return build_sender(
+        as_sender_config(settings),
+        network,
+        prior=prior,
+        utility=utility,
         stop_time=stop_time,
-        use_policy_cache=settings.use_policy_cache,
     )
-    sender.connect(network.entry)
-    network.network.add(sender)
-    return sender

@@ -22,7 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
-from repro.experiments.common import SenderSettings, attach_isender
+from repro.api.config import SenderConfig
+from repro.api.sender import build_sender
+from repro.experiments.common import SenderSettings, as_sender_config
 from repro.inference.prior import figure3_prior
 from repro.metrics.summary import ExperimentRow
 from repro.metrics.timeseries import TimeSeries
@@ -136,7 +138,7 @@ def run_figure3_point(
     buffer_capacity_bits: float = 96_000.0,
     packet_bits: float = DEFAULT_PACKET_BITS,
     seed: int = 1,
-    settings: SenderSettings | None = None,
+    settings: SenderSettings | SenderConfig | None = None,
     prior_points: tuple[int, int, int, int, int] = (4, 4, 3, 4, 1),
 ) -> Figure3AlphaResult:
     """Run one α point of the Figure-3 experiment.
@@ -144,8 +146,12 @@ def run_figure3_point(
     This is the unit the scenario runner parallelizes: a module-level
     function of picklable arguments whose result depends only on them, so
     a sweep computes the same numbers regardless of backend.
+
+    ``settings`` is the sender calibration — canonically a
+    :class:`repro.api.SenderConfig` (the deprecated ``SenderSettings`` is
+    still accepted and adapted).
     """
-    base = settings if settings is not None else SenderSettings()
+    base = as_sender_config(settings)
     phase = switch_interval
     network = figure2_network(
         link_rate_bps=link_rate_bps,
@@ -165,8 +171,8 @@ def run_figure3_point(
         fill_points=prior_points[4],
         packet_bits=packet_bits,
     )
-    run_settings = replace(base, alpha=alpha, packet_bits=packet_bits)
-    sender = attach_isender(network, prior, run_settings)
+    run_config = replace(base, alpha=alpha, packet_bits=packet_bits)
+    sender = build_sender(run_config, network, prior=prior)
     network.network.run(until=duration)
 
     receiver = network.sender_receiver
@@ -205,7 +211,7 @@ def run_figure3(
     buffer_capacity_bits: float = 96_000.0,
     packet_bits: float = DEFAULT_PACKET_BITS,
     seed: int = 1,
-    settings: SenderSettings | None = None,
+    settings: SenderSettings | SenderConfig | None = None,
     prior_points: tuple[int, int, int, int, int] = (4, 4, 3, 4, 1),
     runner: "RunnerBackend | None" = None,
 ) -> Figure3Result:
@@ -223,8 +229,9 @@ def run_figure3(
         sender's prior.  Coarse grids keep the ensemble small, as the paper
         notes is necessary for the rejection-sampling approach.
     settings:
-        Sender calibration; defaults to :class:`SenderSettings` with the
-        given α substituted per run.
+        Sender calibration; canonically a :class:`repro.api.SenderConfig`
+        (``SenderSettings`` still accepted), defaulting to the Figure-3
+        calibration with the given α substituted per run.
     runner:
         Execution backend for the sweep — any object with
         ``map(fn, kwargs_list)`` such as

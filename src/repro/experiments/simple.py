@@ -15,8 +15,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.config import SenderConfig
+from repro.api.sender import build_sender
 from repro.core.utility import AlphaWeightedUtility, LatencyPenaltyUtility
-from repro.experiments.common import SenderSettings, attach_isender
+from repro.experiments.common import SenderSettings, as_sender_config
 from repro.inference.prior import single_link_prior
 from repro.metrics.summary import ExperimentRow
 from repro.metrics.timeseries import TimeSeries
@@ -103,10 +105,10 @@ def run_convergence_scenario(
     link_rate_points: int = 5,
     packet_bits: float = DEFAULT_PACKET_BITS,
     seed: int = 3,
-    settings: SenderSettings | None = None,
+    settings: SenderSettings | SenderConfig | None = None,
 ) -> ConvergenceResult:
     """Scenario A: unknown link speed, converge to sending at the link speed."""
-    settings = settings or SenderSettings(alpha=0.0)
+    config = as_sender_config(settings) if settings is not None else SenderConfig(alpha=0.0)
     network = single_link_network(
         link_rate_bps=true_link_rate_bps,
         buffer_capacity_bits=buffer_capacity_bits,
@@ -122,7 +124,7 @@ def run_convergence_scenario(
         fill_points=3 if initial_fill_bits > 0 else 1,
         packet_bits=packet_bits,
     )
-    sender = attach_isender(network, prior, settings)
+    sender = build_sender(config, network, prior=prior)
     network.network.run(until=duration)
 
     receiver = network.sender_receiver
@@ -183,8 +185,7 @@ def run_drain_scenario(
             cross_rate_pps=cross_fraction * true_link_rate_bps / packet_bits,
             packet_bits=packet_bits,
         )
-        settings = SenderSettings(alpha=1.0)
-        sender = attach_isender(network, prior, settings, utility=utility)
+        sender = build_sender(SenderConfig(alpha=1.0), network, prior=prior, utility=utility)
         network.network.run(until=duration)
         first_send = sender.sent[0].sent_at if sender.sent else duration
         # Queue occupancy seen by the first transmission, according to the

@@ -14,6 +14,7 @@ import heapq
 import math
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
+from repro.api.backends import BELIEF_BACKENDS
 from repro.errors import DegenerateBeliefError, InferenceError
 from repro.inference.hypothesis import Hypothesis
 from repro.inference.likelihood import GaussianKernel, LikelihoodKernel
@@ -103,23 +104,17 @@ class BeliefState:
     def for_backend(cls, backend: Optional[str]) -> type["BeliefState"]:
         """The BeliefState class implementing ``backend``.
 
-        ``None`` keeps the class it was called on; ``"scalar"`` is this
-        reference implementation; ``"vectorized"`` is the NumPy
-        struct-of-arrays engine in :mod:`repro.inference.vectorized`.
+        ``None`` keeps the class it was called on; named engines resolve
+        through the :data:`~repro.api.backends.BELIEF_BACKENDS` registry,
+        where ``"scalar"`` (this reference implementation) and
+        ``"vectorized"`` (the NumPy struct-of-arrays engine in
+        :mod:`repro.inference.vectorized`) self-register.  Unknown names
+        raise :class:`~repro.errors.UnknownBackendError` listing the
+        registered backends.
         """
         if backend is None:
             return cls
-        if backend == "scalar":
-            return BeliefState
-        if backend == "vectorized":
-            try:
-                from repro.inference.vectorized import VectorizedBeliefState
-            except ImportError as error:  # pragma: no cover - numpy is a core dep
-                raise InferenceError(
-                    "the vectorized inference backend requires NumPy"
-                ) from error
-            return VectorizedBeliefState
-        raise InferenceError(f"unknown belief backend {backend!r}")
+        return BELIEF_BACKENDS.resolve(backend)
 
     @classmethod
     def from_prior(
@@ -358,3 +353,6 @@ class BeliefState:
         if total <= 0.0:
             raise InferenceError("cannot normalize an all-zero weight vector")
         return [weight / total for weight in weights]
+
+
+BELIEF_BACKENDS.register("scalar", BeliefState)

@@ -30,6 +30,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.api.backends import BELIEF_BACKENDS
 from repro.errors import DegenerateBeliefError, InferenceError
 from repro.inference.belief import BeliefState
 from repro.inference.hypothesis import Hypothesis
@@ -250,3 +251,6 @@ class VectorizedBeliefState(BeliefState):
         # descending sort (ties keep candidate order).
         order = np.argsort(-weights, kind="stable")[: self.max_hypotheses]
         return rows[order], weights[order]
+
+
+BELIEF_BACKENDS.register("vectorized", VectorizedBeliefState)

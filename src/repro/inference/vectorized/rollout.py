@@ -41,10 +41,11 @@ is why the documented utility tolerance is ``1e-9`` relative.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.api.backends import ROLLOUT_BACKENDS
 from repro.errors import InferenceError
 from repro.inference.hypothesis import Hypothesis, RolloutOutcome
 from repro.inference.vectorized.state import (
@@ -53,6 +54,10 @@ from repro.inference.vectorized.state import (
     EnsembleState,
     _pad_columns,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.planner import Decision, ExpectedUtilityPlanner
+    from repro.inference.belief import BeliefState
 
 #: Flow code for the planner's hypothetical packet inside the lane buffers.
 #: Distinct from FLOW_OWN only so outcomes can report the hypothetical's
@@ -572,4 +577,72 @@ def batched_rollout(
         cross_drop_lane=cross_drop_lane,
         final_queue_bits=final_queue_bits,
         final_cross_backlog_bits=cross_backlog,
+    )
+
+
+@ROLLOUT_BACKENDS.register("vectorized")
+def decide_vectorized(
+    planner: "ExpectedUtilityPlanner", belief: "BeliefState", now: float
+) -> "Decision":
+    """The batched rollout engine behind ``rollout_backend="vectorized"``.
+
+    Registered on :data:`~repro.api.backends.ROLLOUT_BACKENDS`;
+    ``ExpectedUtilityPlanner.decide`` dispatches here when the planner was
+    constructed with the vectorized backend.  When the belief also exposes
+    ``top_rows`` (the vectorized ensemble), the lanes are packed straight
+    from its rows and no scalar ``Hypothesis`` is materialized anywhere on
+    the decide path.
+    """
+    from repro.core.planner import Decision
+
+    top_rows = getattr(belief, "top_rows", None)
+    if top_rows is not None:
+        rows, weights = top_rows(planner.top_k)
+        state = belief.state
+        summary = planner._summarize_rows(state, rows, weights)
+        lanes = pack_rows(state, rows)
+    else:
+        top = belief.top(planner.top_k)
+        summary = planner._summarize_hypotheses(top)
+        lanes = pack_hypotheses([hypothesis for hypothesis, _ in top])
+
+    actions = planner.action_grid.actions(summary.service_time)
+    horizon = planner._horizon_from(summary)
+    outcome = batched_rollout(
+        lanes,
+        [action.delay for action in actions],
+        horizon,
+        planner.packet_bits,
+        now,
+    )
+    planner.rollouts_performed += outcome.lanes
+
+    evaluate_batch = getattr(planner.utility, "evaluate_batch", None)
+    if evaluate_batch is not None:
+        values = evaluate_batch(outcome).tolist()
+    else:
+        # Custom utility without a batch path: value each lane through
+        # the scalar evaluate (still avoids per-lane model rollouts).
+        values = [
+            planner.utility.evaluate(outcome.lane_outcome(lane))
+            for lane in range(outcome.lanes)
+        ]
+
+    count = summary.count
+    total_weight = summary.total_weight
+    weights = summary.weights
+    expected: dict[float, float] = {}
+    for index, action in enumerate(actions):
+        accumulated = 0.0
+        base = index * count
+        for position in range(count):
+            accumulated += (weights[position] / total_weight) * values[base + position]
+        expected[action.delay] = accumulated
+
+    best_action = planner._argmax_prefer_longer_delay(actions, expected)
+    return Decision(
+        action=best_action,
+        expected_utilities=expected,
+        hypotheses_evaluated=count,
+        horizon=horizon,
     )

@@ -50,7 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.runner",
         description="Run registered simulation scenarios, serially or in parallel.",
     )
-    commands = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list registered scenarios (alias for the 'list' command)",
+    )
+    commands = parser.add_subparsers(dest="command", required=False)
 
     commands.add_parser("list", help="list registered scenarios")
 
@@ -137,10 +143,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     try:
-        if args.command == "list":
+        if args.list_scenarios and args.command not in (None, "list"):
+            parser.error("--list cannot be combined with the 'run' command")
+        if args.command == "list" or args.list_scenarios:
             return _cmd_list()
+        if args.command is None:
+            parser.error("a command is required (list, run) unless --list is given")
         return _cmd_run(args)
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.config import SenderConfig
 from repro.baselines.newreno import NewRenoSender
 from repro.cellular.link import CellularLink
 from repro.cellular.trace import RateProcess
@@ -22,7 +23,7 @@ from repro.elements.delay import Delay
 from repro.elements.loss import Loss
 from repro.elements.receiver import Receiver
 from repro.elements.throughput import Throughput
-from repro.experiments.ablation import AblationConfig, run_ablation_config
+from repro.experiments.ablation import run_ablation_point
 from repro.experiments.comparison import run_loss_comparison
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure3 import run_figure3_point
@@ -74,8 +75,19 @@ def figure3_alpha(
     cross_fraction: float = 0.7,
     loss_rate: float = 0.2,
     buffer_capacity_bits: float = 96_000.0,
+    belief_backend: str = "scalar",
+    rollout_backend: str = "scalar",
+    policy: str = "none",
 ) -> dict[str, float]:
-    """Figure 3: one α point of the cross-traffic-priority sweep."""
+    """Figure 3: one α point of the cross-traffic-priority sweep.
+
+    ``belief_backend`` / ``rollout_backend`` / ``policy`` select the
+    engines through :class:`repro.api.SenderConfig`, so the CLI can sweep
+    engine and policy combinations over the paper's main experiment::
+
+        python -m repro.runner run figure3_alpha \\
+            --sweep rollout_backend=scalar,vectorized --sweep policy=none,cache
+    """
     result = run_figure3_point(
         alpha=alpha,
         duration=duration,
@@ -85,6 +97,11 @@ def figure3_alpha(
         loss_rate=loss_rate,
         buffer_capacity_bits=buffer_capacity_bits,
         seed=seed,
+        settings=SenderConfig(
+            belief_backend=belief_backend,
+            rollout_backend=rollout_backend,
+            policy=policy,
+        ),
     )
     return {
         "alpha": alpha,
@@ -185,23 +202,39 @@ def inference_ablation_point(
     use_policy_cache: bool = False,
     backend: str = "scalar",
     rollout_backend: str = "scalar",
+    policy: str = "",
+    link_rate_bps: float = 12_000.0,
+    loss_rate: float = 0.2,
 ) -> dict[str, float]:
-    """One configuration of the inference-approximation ablation."""
-    label = f"{kernel}/{max_hypotheses}hyp/top{top_k}/{backend}/{rollout_backend}" + (
-        "/cache" if use_policy_cache else ""
+    """One configuration of the inference-approximation ablation.
+
+    ``policy`` is the §3.3 decision-policy mode (``none`` / ``cache`` /
+    ``table``); empty keeps the older ``use_policy_cache`` flag's choice.
+    Sweep engines and policies together, e.g.::
+
+        python -m repro.runner run inference_ablation_point \\
+            --sweep rollout_backend=scalar,vectorized \\
+            --sweep policy=none,cache,table
+    """
+    if not policy:
+        policy = "cache" if use_policy_cache else "none"
+    label = (
+        f"{kernel}/{max_hypotheses}hyp/top{top_k}/{backend}/{rollout_backend}/{policy}"
     )
-    outcome = run_ablation_config(
-        AblationConfig(
-            label=label,
+    outcome = run_ablation_point(
+        label,
+        SenderConfig(
             kernel=kernel,
             kernel_scale=kernel_scale,
             max_hypotheses=max_hypotheses,
             top_k=top_k,
-            use_policy_cache=use_policy_cache,
-            backend=backend,
+            belief_backend=backend,
             rollout_backend=rollout_backend,
+            policy=policy,
         ),
         duration=duration,
+        link_rate_bps=link_rate_bps,
+        loss_rate=loss_rate,
         seed=seed,
     )
     return {
@@ -211,6 +244,8 @@ def inference_ablation_point(
         "final_hypotheses": outcome.final_hypotheses,
         "degenerate_updates": outcome.degenerate_updates,
         "posterior_true_link_rate": outcome.posterior_true_link_rate,
+        "policy_hits": outcome.policy_hits,
+        "policy_misses": outcome.policy_misses,
     }
 
 

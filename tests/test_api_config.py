@@ -1,0 +1,305 @@
+"""The unified sender-configuration layer: registry, SenderConfig, shims.
+
+Covers the backend registry's eager validation, ``SenderConfig``
+construction and fingerprinting, ``build_sender`` as the one construction
+path, and the deprecated ``SenderSettings`` / ``AblationConfig`` adapters —
+including the bit-identical-sender equivalence the shims promise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BELIEF_BACKENDS,
+    ROLLOUT_BACKENDS,
+    BackendRegistry,
+    SenderConfig,
+    UnknownBackendError,
+    build_sender,
+)
+from repro.core.policy import PolicyCache
+from repro.errors import ConfigurationError, InferenceError
+from repro.inference import single_link_prior
+from repro.topology import single_link_network
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_are_known(self):
+        assert BELIEF_BACKENDS.names() == ["scalar", "vectorized"]
+        assert ROLLOUT_BACKENDS.names() == ["scalar", "vectorized"]
+        assert "vectorized" in BELIEF_BACKENDS
+        assert "quantum" not in ROLLOUT_BACKENDS
+
+    def test_resolve_returns_registered_engines(self):
+        from repro.inference.belief import BeliefState
+        from repro.inference.vectorized import VectorizedBeliefState
+
+        assert BELIEF_BACKENDS.resolve("scalar") is BeliefState
+        assert BELIEF_BACKENDS.resolve("vectorized") is VectorizedBeliefState
+        assert callable(ROLLOUT_BACKENDS.resolve("scalar"))
+        assert callable(ROLLOUT_BACKENDS.resolve("vectorized"))
+
+    def test_unknown_name_lists_registered_backends(self):
+        with pytest.raises(UnknownBackendError, match="scalar, vectorized"):
+            BELIEF_BACKENDS.resolve("quantum")
+        with pytest.raises(UnknownBackendError, match="rollout backend 'warp'"):
+            ROLLOUT_BACKENDS.validate("warp")
+
+    def test_unknown_backend_error_satisfies_old_hierarchies(self):
+        # The old entry points raised ConfigurationError (planner) and
+        # InferenceError (belief); the registry error derives from both.
+        assert issubclass(UnknownBackendError, ConfigurationError)
+        assert issubclass(UnknownBackendError, InferenceError)
+
+    def test_conflicting_registration_rejected(self):
+        registry = BackendRegistry("test")
+        registry.register("engine", object())
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("engine", object())
+
+    def test_reregistering_same_object_is_idempotent(self):
+        registry = BackendRegistry("test")
+        engine = object()
+        registry.register("engine", engine)
+        registry.register("engine", engine)
+        assert registry.resolve("engine") is engine
+
+    def test_register_as_decorator(self):
+        registry = BackendRegistry("test")
+
+        @registry.register("fn")
+        def engine():
+            return 42
+
+        assert registry.resolve("fn") is engine
+
+
+class TestSenderConfigValidation:
+    def test_unknown_belief_backend_fails_at_config_time(self):
+        with pytest.raises(UnknownBackendError, match="belief backend 'vectorised'"):
+            SenderConfig(belief_backend="vectorised")
+
+    def test_unknown_rollout_backend_fails_at_config_time(self):
+        with pytest.raises(UnknownBackendError, match="rollout backend 'quantum'"):
+            SenderConfig(rollout_backend="quantum")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kernel": "triangular"},
+            {"policy": "oracle"},
+            {"kernel_scale": 0.0},
+            {"max_hypotheses": 0},
+            {"top_k": 0},
+            {"packet_bits": -1.0},
+            {"policy_resolution_bits": 0.0},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SenderConfig(**kwargs)
+
+    def test_build_belief_without_prior_rejected(self):
+        with pytest.raises(ConfigurationError, match="no prior"):
+            SenderConfig().build_belief()
+
+    def test_build_belief_uses_config_backend(self):
+        config = SenderConfig(prior=single_link_prior(), belief_backend="vectorized")
+        assert config.build_belief().backend == "vectorized"
+
+    def test_build_planner_reflects_config(self):
+        config = SenderConfig(top_k=7, rollout_backend="vectorized", horizon=3.0)
+        planner = config.build_planner()
+        assert planner.top_k == 7
+        assert planner.rollout_backend == "vectorized"
+        assert planner.horizon == 3.0
+
+
+class TestFingerprint:
+    def test_stable_across_equal_configs(self):
+        left = SenderConfig(prior=single_link_prior(), alpha=2.0)
+        right = SenderConfig(prior=single_link_prior(), alpha=2.0)
+        assert left.fingerprint() == right.fingerprint()
+
+    def test_sensitive_to_fields_and_prior(self):
+        base = SenderConfig(prior=single_link_prior())
+        assert base.fingerprint() != SenderConfig(
+            prior=single_link_prior(), alpha=2.0
+        ).fingerprint()
+        assert base.fingerprint() != SenderConfig(
+            prior=single_link_prior(link_rate_points=3)
+        ).fingerprint()
+        assert base.fingerprint() != SenderConfig().fingerprint()
+
+    def test_is_short_hex(self):
+        fingerprint = SenderConfig().fingerprint()
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)
+
+
+class TestBuildSender:
+    def make_network(self):
+        return single_link_network(link_rate_bps=12_000.0, buffer_capacity_bits=96_000.0)
+
+    def test_wires_sender_into_preset_network(self):
+        network = self.make_network()
+        config = SenderConfig(prior=single_link_prior(), alpha=0.0, top_k=8)
+        sender = build_sender(config, network)
+        network.network.run(until=8.0)
+        assert sender.packets_sent > 0
+        assert sender.packets_acked > 0
+        assert sender.policy is None
+
+    def test_policy_cache_mode_installs_cache(self):
+        network = self.make_network()
+        config = SenderConfig(
+            prior=single_link_prior(), alpha=0.0, top_k=8, policy="cache"
+        )
+        sender = build_sender(config, network)
+        assert isinstance(sender.policy, PolicyCache)
+        assert sender.policy.queue_resolution_bits == config.policy_resolution_bits
+        network.network.run(until=8.0)
+        assert sender.policy.hits + sender.policy.misses > 0
+
+    def test_rejects_non_network_handles(self):
+        with pytest.raises(ConfigurationError, match="preset-network handle"):
+            build_sender(SenderConfig(prior=single_link_prior()), object())
+
+    def test_prior_override_beats_config_prior(self):
+        network = self.make_network()
+        override = single_link_prior(link_rate_points=2, fill_points=1)
+        config = SenderConfig(prior=single_link_prior(), alpha=0.0)
+        sender = build_sender(config, network, prior=override)
+        assert len(sender.belief) == override.size
+
+
+class TestDeprecatedShims:
+    def test_sender_settings_warns(self):
+        from repro.experiments.common import SenderSettings
+
+        with pytest.warns(DeprecationWarning, match="SenderSettings is deprecated"):
+            SenderSettings()
+
+    def test_ablation_config_warns(self):
+        from repro.experiments.ablation import AblationConfig
+
+        with pytest.warns(DeprecationWarning, match="AblationConfig is deprecated"):
+            AblationConfig(label="old")
+
+    def test_sender_settings_to_config_maps_every_field(self):
+        from repro.experiments.common import SenderSettings
+
+        with pytest.warns(DeprecationWarning):
+            settings = SenderSettings(
+                alpha=2.5,
+                discount_timescale=15.0,
+                latency_penalty=0.1,
+                kernel_sigma=0.3,
+                max_hypotheses=64,
+                top_k=9,
+                packet_bits=1_000.0,
+                use_policy_cache=True,
+                belief_backend="vectorized",
+                rollout_backend="vectorized",
+            )
+        config = settings.to_config()
+        assert config.alpha == 2.5
+        assert config.discount_timescale == 15.0
+        assert config.latency_penalty == 0.1
+        assert config.kernel == "gaussian"
+        assert config.kernel_scale == 0.3
+        assert config.max_hypotheses == 64
+        assert config.top_k == 9
+        assert config.packet_bits == 1_000.0
+        assert config.policy == "cache"
+        assert config.belief_backend == "vectorized"
+        assert config.rollout_backend == "vectorized"
+
+    def test_ablation_config_to_point_maps_every_field(self):
+        from repro.experiments.ablation import AblationConfig
+
+        with pytest.warns(DeprecationWarning):
+            old = AblationConfig(
+                label="exact",
+                kernel="exact",
+                kernel_scale=0.75,
+                max_hypotheses=50,
+                top_k=8,
+                use_policy_cache=True,
+                backend="vectorized",
+                rollout_backend="vectorized",
+            )
+        point = old.to_point(alpha=2.0)
+        assert point.label == "exact"
+        config = point.config
+        assert config.kernel == "exact"
+        assert config.kernel_scale == 0.75
+        assert config.max_hypotheses == 50
+        assert config.top_k == 8
+        assert config.policy == "cache"
+        assert config.belief_backend == "vectorized"
+        assert config.rollout_backend == "vectorized"
+        assert config.alpha == 2.0
+
+    def test_shim_builds_bit_identical_sender(self):
+        """attach_isender(SenderSettings) == build_sender(SenderConfig).
+
+        The same seeded scenario is run through both construction paths;
+        the decision sequences, transmit times, and posterior must match
+        exactly (the scalar-vs-vectorized equivalence-harness pattern).
+        """
+        from repro.experiments.common import SenderSettings, attach_isender
+
+        def run(use_shim: bool):
+            network = single_link_network(
+                link_rate_bps=12_000.0, buffer_capacity_bits=96_000.0, seed=3
+            )
+            prior = single_link_prior()
+            if use_shim:
+                with pytest.warns(DeprecationWarning):
+                    settings = SenderSettings(alpha=0.0, top_k=8, use_policy_cache=True)
+                sender = attach_isender(network, prior, settings)
+            else:
+                config = SenderConfig(alpha=0.0, top_k=8, policy="cache")
+                sender = build_sender(config, network, prior=prior)
+            network.network.run(until=20.0)
+            return sender
+
+        shimmed = run(use_shim=True)
+        canonical = run(use_shim=False)
+        assert [record.sent_at for record in shimmed.sent] == [
+            record.sent_at for record in canonical.sent
+        ]
+        assert [decision.delay for decision in shimmed.decisions] == [
+            decision.delay for decision in canonical.decisions
+        ]
+        assert [
+            decision.expected_utilities for decision in shimmed.decisions
+        ] == [decision.expected_utilities for decision in canonical.decisions]
+        assert shimmed.belief.weights == canonical.belief.weights
+        assert (shimmed.policy.hits, shimmed.policy.misses) == (
+            canonical.policy.hits,
+            canonical.policy.misses,
+        )
+
+    def test_run_ablation_config_matches_run_ablation_point(self):
+        """The deprecated ablation wrapper reproduces the canonical sweep."""
+        from repro.experiments.ablation import (
+            AblationConfig,
+            run_ablation_config,
+            run_ablation_point,
+        )
+
+        with pytest.warns(DeprecationWarning):
+            old = AblationConfig(label="small", max_hypotheses=40, top_k=6)
+        via_shim = run_ablation_config(old, duration=10.0)
+        via_api = run_ablation_point(
+            "small",
+            SenderConfig(max_hypotheses=40, top_k=6),
+            duration=10.0,
+        )
+        assert via_shim.packets_sent == via_api.packets_sent
+        assert via_shim.rollouts == via_api.rollouts
+        assert via_shim.final_hypotheses == via_api.final_hypotheses
+        assert via_shim.posterior_true_link_rate == via_api.posterior_true_link_rate

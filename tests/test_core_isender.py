@@ -44,6 +44,26 @@ class TestConstruction:
         with pytest.raises(ConfigurationError):
             ISender(belief, planner, network.sender_receiver, max_sends_per_wake=0)
 
+    def test_policy_slot(self):
+        """policy= installs the decider; combining it with the old flag fails."""
+        from repro.core.policy import PolicyCache
+
+        network = single_link_network()
+        prior = single_link_prior(link_rate_points=2, fill_points=1)
+        belief = BeliefState.from_prior(prior)
+        planner = ExpectedUtilityPlanner(ThroughputUtility())
+        cache = PolicyCache(planner)
+        sender = ISender(belief, planner, network.sender_receiver, policy=cache)
+        assert sender.policy is cache
+        with pytest.raises(ConfigurationError, match="not both"):
+            ISender(
+                belief,
+                planner,
+                network.sender_receiver,
+                policy=cache,
+                use_policy_cache=True,
+            )
+
 
 class TestScenarioA:
     """The §4 prose result: converge to sending at exactly the link speed."""

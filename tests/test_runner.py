@@ -255,6 +255,31 @@ class TestCli:
         assert "single_link_tcp" in out
         assert "figure3_alpha" in out
 
+    def test_list_flag_alias(self, capsys):
+        """``python -m repro.runner --list`` (the CI smoke spelling)."""
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure3_alpha" in out
+
+    def test_engine_policy_sweep_through_cli(self, capsys):
+        """rollout_backend/policy are sweepable scenario axes (PR 3 follow-on)."""
+        code = cli_main(
+            [
+                "run",
+                "inference_ablation_point",
+                "--set",
+                "duration=6",
+                "--sweep",
+                "rollout_backend=scalar,vectorized",
+                "--sweep",
+                "policy=none,cache",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 points" in out
+        assert "policy_hits" in out
+
     def test_run_writes_artifacts(self, tmp_path, capsys):
         json_path = tmp_path / "sweep.json"
         csv_path = tmp_path / "sweep.csv"
