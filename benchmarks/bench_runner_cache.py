@@ -1,0 +1,103 @@
+"""Benchmark: warm-rerun speedup of the fingerprint-keyed result cache.
+
+Runs a 4-point Figure-3 α sweep cold (populating a fresh cache directory),
+then reruns the identical grid warm.  The warm pass must replay every point
+from the cache — zero executions — producing a byte-identical canonical
+artifact at a ≥5× wall-clock speedup (measured: orders of magnitude, since
+a replay is one key hash plus one small JSON read per point).  Both the
+speedup and the replay identity are gated in ``BENCH_cache.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.metrics.summary import ExperimentRow, format_table
+from repro.runner import ResultCache, SerialRunner
+from repro.runner.scenarios import alpha_sweep_specs
+
+BENCH_ALPHAS = (0.9, 1.0, 2.5, 5.0)
+BENCH_DURATION = 30.0
+BENCH_SWITCH_INTERVAL = 10.0
+
+
+@pytest.mark.bench
+def test_warm_rerun_replays_cached_grid(table_printer, bench_record, tmp_path):
+    specs = alpha_sweep_specs(
+        alphas=BENCH_ALPHAS,
+        duration=BENCH_DURATION,
+        switch_interval=BENCH_SWITCH_INTERVAL,
+    )
+
+    started = time.perf_counter()
+    cold = SerialRunner(cache=ResultCache(tmp_path)).run(specs)
+    cold_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = SerialRunner(cache=ResultCache(tmp_path)).run(specs)
+    warm_elapsed = time.perf_counter() - started
+
+    speedup = cold_elapsed / warm_elapsed if warm_elapsed > 0 else float("inf")
+    replay_identical = cold.to_json() == warm.to_json()
+    all_hits = (warm.cache_hits, warm.cache_misses) == (len(specs), 0)
+
+    table_printer(
+        format_table(
+            [
+                ExperimentRow(
+                    label="cold",
+                    values={
+                        "wall (s)": cold_elapsed,
+                        "hits": cold.cache_hits,
+                        "misses": cold.cache_misses,
+                    },
+                ),
+                ExperimentRow(
+                    label="warm",
+                    values={
+                        "wall (s)": warm_elapsed,
+                        "hits": warm.cache_hits,
+                        "misses": warm.cache_misses,
+                    },
+                ),
+                ExperimentRow(label="speedup", values={"wall (s)": speedup}),
+            ],
+            title=f"Result cache — {len(specs)}-point α sweep, cold vs warm rerun",
+        )
+    )
+
+    assert replay_identical, "warm rerun must replay the cold artifact bit-identically"
+    assert all_hits, f"warm rerun executed points: {warm.cache_misses} miss(es)"
+    assert speedup >= 5.0, f"expected >= 5x warm-rerun speedup, measured {speedup:.1f}x"
+
+    bench_record(
+        "cache",
+        entries={
+            "cold_4pt": (
+                {
+                    "wall_time_s": cold_elapsed,
+                    "points": len(cold),
+                    "cache_misses": cold.cache_misses,
+                },
+                {"alphas": list(BENCH_ALPHAS), "duration_s": BENCH_DURATION},
+            ),
+            "warm_4pt": (
+                {
+                    "wall_time_s": warm_elapsed,
+                    "points": len(warm),
+                    "cache_hits": warm.cache_hits,
+                    "speedup_vs_cold": speedup,
+                    "replay_identical": float(replay_identical),
+                    "all_points_hit": float(all_hits),
+                },
+                {"alphas": list(BENCH_ALPHAS), "duration_s": BENCH_DURATION},
+            ),
+        },
+        gates={
+            "warm_4pt.speedup_vs_cold": {"min": 5.0},
+            "warm_4pt.replay_identical": {"min": 1.0},
+            "warm_4pt.all_points_hit": {"min": 1.0},
+        },
+    )

@@ -7,6 +7,10 @@ wall-clock speedup.  The ≥ 2.5× speedup assertion only applies where the
 hardware can deliver it — on fewer than four usable cores the measured
 ratio is reported but not enforced, since forked workers then time-share
 one CPU.
+
+A second record covers the §3.3 ``policy="table"`` grid workload: a seed
+fan over one table-mode configuration must precompute exactly one policy
+table through the shared cache directory, not one per point.
 """
 
 from __future__ import annotations
@@ -17,8 +21,9 @@ import time
 import pytest
 
 from repro.metrics.summary import ExperimentRow, format_table
-from repro.runner import ParallelRunner, SerialRunner
+from repro.runner import ParallelRunner, SerialRunner, run_specs
 from repro.runner.scenarios import alpha_sweep_specs
+from repro.runner.spec import grid
 
 #: Eight α points spanning the paper's range (two per paper value).
 BENCH_ALPHAS = (0.8, 0.9, 1.0, 1.5, 2.0, 2.5, 3.5, 5.0)
@@ -121,3 +126,79 @@ def test_runner_scaling_8_point_alpha_sweep(table_printer, bench_record):
             f"NOTE: only {_USABLE_CPUS} usable CPU(s); {speedup:.2f}x measured, "
             "2.5x assertion requires >= 4 cores"
         )
+
+
+@pytest.mark.bench
+def test_policy_table_seed_fan_shares_one_table(
+    table_printer, bench_record, tmp_path, monkeypatch
+):
+    """§3.3 grid workload: a table-mode seed fan precomputes one table.
+
+    Three seed trials of one ``inference_ablation_point`` configuration run
+    with ``policy="table"`` against a shared cache directory.  The pilot
+    seed is fixed per configuration, so the sweep must write exactly one
+    policy-table artifact and replay it for the remaining points — the
+    cross-run/cross-worker reuse PR 4's ROADMAP entry promised.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    base = {"duration": 8.0, "max_hypotheses": 60, "top_k": 8}
+    seeds = (0, 1, 2)
+
+    def sweep(policy: str) -> float:
+        specs = grid(
+            "inference_ablation_point", seeds=seeds, base={**base, "policy": policy}
+        )
+        started = time.perf_counter()
+        store = run_specs(specs)
+        assert len(store) == len(seeds)
+        return time.perf_counter() - started
+
+    none_elapsed = sweep("none")
+    table_elapsed = sweep("table")
+    tables_written = len(list((tmp_path / "policy").glob("*.json")))
+
+    table_printer(
+        format_table(
+            [
+                ExperimentRow(
+                    label="policy=none",
+                    values={"wall (s)": none_elapsed, "points": len(seeds)},
+                ),
+                ExperimentRow(
+                    label="policy=table",
+                    values={
+                        "wall (s)": table_elapsed,
+                        "points": len(seeds),
+                        "tables": tables_written,
+                    },
+                ),
+            ],
+            title="Runner grid — policy-mode seed fan (3 trials, shared cache)",
+        )
+    )
+
+    assert tables_written == 1, (
+        f"expected the seed fan to share one precomputed table, "
+        f"found {tables_written}"
+    )
+
+    bench_record(
+        "runner",
+        entries={
+            "policy_none_seedfan": (
+                {"wall_time_s": none_elapsed, "points": len(seeds)},
+                {"policy": "none", "seeds": list(seeds)},
+            ),
+            "policy_table_seedfan": (
+                {
+                    "wall_time_s": table_elapsed,
+                    "points": len(seeds),
+                    "tables_precomputed": float(tables_written),
+                },
+                {"policy": "table", "seeds": list(seeds)},
+            ),
+        },
+        gates={
+            "policy_table_seedfan.tables_precomputed": {"min": 1.0, "max": 1.0},
+        },
+    )

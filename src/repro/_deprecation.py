@@ -1,0 +1,56 @@
+"""Deprecation warnings that always point at the *user's* call site.
+
+The deprecated configuration shims (``SenderSettings``, ``AblationConfig``)
+are frozen/plain dataclasses, so their :class:`DeprecationWarning` is
+emitted from ``__post_init__``.  A fixed ``stacklevel`` is correct for
+direct construction (user → ``__init__`` → ``__post_init__``) but wrong for
+every other entry path — most notably :func:`dataclasses.replace`, which
+inserts a frame from ``dataclasses.py`` and made the warning blame the
+standard library instead of the caller.
+
+:func:`warn_deprecated` walks the stack instead of trusting a constant: it
+skips frames belonging to this package's internal plumbing (the module that
+raised, :mod:`dataclasses`, :mod:`copy`) and warns at the first genuine
+caller frame.  With the warning attributed to a stable (file, line), the
+interpreter's ``"default"`` filter action then deduplicates it — each
+deprecated call site warns exactly once per process, however many times it
+executes.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+#: Module files whose frames are construction plumbing, never the call site.
+_PLUMBING_MODULES = ("dataclasses", "copy", "copyreg")
+
+
+def _plumbing_files() -> tuple[str, ...]:
+    files = []
+    for name in _PLUMBING_MODULES:
+        module = sys.modules.get(name)
+        filename = getattr(module, "__file__", None)
+        if filename:
+            files.append(filename)
+    return tuple(files)
+
+
+def warn_deprecated(message: str, *, internal_files: tuple[str, ...] = ()) -> None:
+    """Emit ``DeprecationWarning`` attributed to the nearest external frame.
+
+    ``internal_files`` are additional ``__file__`` values to treat as
+    internal (typically the deprecated shim's own module), on top of the
+    dataclass/copy machinery that sits between a shim's ``__post_init__``
+    and whoever actually constructed it.
+    """
+    # "<string>" is the filename dataclasses gives its generated __init__.
+    skip = {"<string>", *internal_files, *_plumbing_files()}
+    # Frame 0 is this function; start from our caller and climb until the
+    # code object lives outside every internal file.
+    stacklevel = 2
+    frame = sys._getframe(1)
+    while frame.f_back is not None and frame.f_code.co_filename in skip:
+        frame = frame.f_back
+        stacklevel += 1
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)

@@ -1,0 +1,93 @@
+"""Shared persistence plumbing for the fingerprint-keyed caches.
+
+Deliberately dependency-free (stdlib only) so both sides of the
+runner ↔ api boundary — :mod:`repro.runner.cache` for grid-point results,
+:mod:`repro.api.policy` for precomputed policy tables — can use one
+write-path and one cache-directory convention without importing each
+other.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import inspect
+import os
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Sequence
+
+#: Environment variable naming the shared cache directory.  The runner
+#: CLI's ``--cache-dir`` exports it for the duration of a run so worker
+#: processes and the policy-table precompute path all reuse one location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Optional[Path]:
+    """The cache directory named by ``$REPRO_CACHE_DIR``, or ``None``."""
+    value = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return Path(value) if value else None
+
+
+@contextlib.contextmanager
+def cache_dir_override(
+    value: Optional[str], *, clear: bool = False
+) -> Iterator[None]:
+    """Temporarily set (or, with ``clear``, remove) ``$REPRO_CACHE_DIR``.
+
+    ``value=None`` without ``clear`` is a no-op — the environment is left
+    exactly as found.  The previous value is always restored on exit.
+    Runner workers use this around a *single* point execution in their own
+    process, so concurrent runs with different cache directories never
+    observe each other's export.
+    """
+    if value is None and not clear:
+        yield
+        return
+    saved = os.environ.get(CACHE_DIR_ENV)
+    if clear:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = value
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop(CACHE_DIR_ENV, None)
+        else:
+            os.environ[CACHE_DIR_ENV] = saved
+
+
+def signature_defaults(
+    fn: Callable, exclude: Sequence[str] = ()
+) -> dict[str, object]:
+    """``fn``'s defaulted parameters as a name → default dict.
+
+    The one effective-parameter rule both caches key on: an omitted
+    parameter and its explicitly spelled-out default must address the same
+    artifact, and a changed default must invalidate.  Used by the scenario
+    registry (grid-point keys) and the policy-table cache (sweep-parameter
+    digests) so the two invalidation rules cannot drift.
+    """
+    return {
+        name: parameter.default
+        for name, parameter in inspect.signature(fn).parameters.items()
+        if parameter.default is not inspect.Parameter.empty and name not in exclude
+    }
+
+
+def atomic_write_text(path: Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (last writer wins).
+
+    The content lands in a process-unique scratch file first and is moved
+    into place with :func:`os.replace`, so concurrent writers racing on a
+    shared cache directory each leave a complete file — never a torn one —
+    and a failed write leaves no scratch debris behind.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        scratch.write_text(text, encoding="utf-8")
+        os.replace(scratch, path)
+    except BaseException:
+        scratch.unlink(missing_ok=True)
+        raise
+    return path

@@ -40,11 +40,16 @@ _LAZY_EXPORTS = {
     "SenderConfig": ("repro.api.config", "SenderConfig"),
     "KERNELS": ("repro.api.config", "KERNELS"),
     "POLICY_MODES": ("repro.api.config", "POLICY_MODES"),
+    "canonical_digest": ("repro.api.config", "canonical_digest"),
     "build_sender": ("repro.api.sender", "build_sender"),
     "build_components": ("repro.api.sender", "build_components"),
     "SenderParts": ("repro.api.sender", "SenderParts"),
     "PolicyTable": ("repro.api.policy", "PolicyTable"),
     "precompute_policy_table": ("repro.api.policy", "precompute_policy_table"),
+    "load_or_precompute_policy_table": (
+        "repro.api.policy",
+        "load_or_precompute_policy_table",
+    ),
 }
 
 __all__ = [
@@ -59,6 +64,8 @@ __all__ = [
     "UnknownBackendError",
     "build_components",
     "build_sender",
+    "canonical_digest",
+    "load_or_precompute_policy_table",
     "precompute_policy_table",
 ]
 

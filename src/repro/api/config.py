@@ -47,6 +47,19 @@ POLICY_MODES = ("none", "cache", "table")
 FINGERPRINT_VERSION = 1
 
 
+def canonical_digest(payload, length: int = 16) -> str:
+    """Hex digest of ``payload``'s canonical JSON form.
+
+    The one hashing convention shared by every fingerprint-keyed artifact:
+    :meth:`SenderConfig.fingerprint`, the runner's persistent
+    :class:`~repro.runner.cache.ResultCache` keys, and the
+    :class:`~repro.api.policy.PolicyTable` cache filenames.  ``payload``
+    must be JSON-serializable (non-JSON leaves fall back to ``str``, the
+    same rule the runner's canonical artifacts use)."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:length]
+
+
 @dataclass(frozen=True)
 class SenderConfig:
     """Everything needed to construct a model-based sender.
@@ -221,9 +234,10 @@ class SenderConfig:
     def fingerprint(self) -> str:
         """A stable hex digest identifying this config (and its prior).
 
-        Keys serialized :class:`~repro.api.policy.PolicyTable` files: a
-        table precomputed for one fingerprint refuses to load against a
-        different config.
+        Keys serialized :class:`~repro.api.policy.PolicyTable` files and
+        the runner's persistent result cache: a table precomputed for one
+        fingerprint refuses to load against a different config, and a
+        cached grid point is replayed only for the exact configuration
+        that produced it.
         """
-        canonical = json.dumps(self.describe(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        return canonical_digest(self.describe())

@@ -37,6 +37,8 @@ import json
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro._persist import atomic_write_text
+
 from repro.core.actions import Action
 from repro.core.planner import Decision, ExpectedUtilityPlanner
 from repro.core.policy import PolicyCache
@@ -80,6 +82,11 @@ class PolicyTable(PolicyCache):
     max_entries:
         Hard cap on the table size (oldest entries evicted first).
     """
+
+    #: Whether this instance was read back from a cache directory rather
+    #: than computed.  ``False`` by default on every construction path;
+    #: :func:`load_or_precompute_policy_table` sets it on cache hits.
+    loaded_from_cache = False
 
     def __init__(
         self,
@@ -176,13 +183,11 @@ class PolicyTable(PolicyCache):
         }
 
     def to_json(self, path: str | Path) -> Path:
-        """Write the table to ``path`` as canonical JSON."""
-        path = Path(path)
-        path.write_text(
+        """Write the table to ``path`` as canonical JSON (atomically)."""
+        return atomic_write_text(
+            Path(path),
             json.dumps(self.to_payload(), sort_keys=True, indent=1) + "\n",
-            encoding="utf-8",
         )
-        return path
 
     @classmethod
     def from_payload(
@@ -343,4 +348,90 @@ def precompute_policy_table(
         forked.update(pilot_duration)
         table.seed(forked, pilot_duration)
 
+    return table
+
+
+# --------------------------------------------------------- cross-run reuse
+
+
+def _effective_sweep_params(sweep_params: dict) -> dict:
+    """``sweep_params`` with :func:`precompute_policy_table` defaults resolved.
+
+    Keys the cache on what the precompute will actually run with — the
+    shared :func:`repro._persist.signature_defaults` rule the runner's
+    result cache also applies, so the two invalidation behaviours cannot
+    drift.  ``prior`` is identity, not a sweep parameter; the config
+    fingerprint already covers it.
+    """
+    from repro._persist import signature_defaults
+
+    effective = signature_defaults(precompute_policy_table, exclude=("prior",))
+    effective.update(sweep_params)
+    return effective
+
+
+def policy_table_cache_path(cache_dir: str | Path, config, sweep_params: dict) -> Path:
+    """Where a precomputed table for ``config`` lives under ``cache_dir``.
+
+    The filename carries the config fingerprint (so a directory listing is
+    self-describing) plus a digest of the *effective* precompute sweep
+    parameters — the same config precomputed over a different pilot
+    scenario is a different artifact.
+    """
+    from repro._version import __version__
+    from repro.api.config import canonical_digest
+
+    sweep_digest = canonical_digest(
+        {
+            "schema": TABLE_SCHEMA_VERSION,
+            "version": __version__,
+            "sweep": _effective_sweep_params(sweep_params),
+        }
+    )
+    return Path(cache_dir) / "policy" / f"{config.fingerprint()}-{sweep_digest}.json"
+
+
+def load_or_precompute_policy_table(
+    config,
+    prior: Optional[Prior] = None,
+    *,
+    cache_dir: Optional[str | Path] = None,
+    **precompute_kwargs,
+) -> PolicyTable:
+    """A :class:`PolicyTable` for ``config``, reused across runs and workers.
+
+    With ``cache_dir=None`` this is exactly :func:`precompute_policy_table`.
+    Otherwise the table is keyed by ``config.fingerprint()`` (prior
+    included) plus a digest of the precompute parameters and persisted under
+    ``cache_dir/policy/``: the first caller — in any process — computes and
+    writes it, every later caller loads it.  Writes go through a
+    process-unique temporary file and an atomic :func:`os.replace`, so
+    parallel sweep workers racing on the same directory each end up with a
+    complete table (last writer wins; the content is deterministic, so the
+    winners are bit-identical).  A corrupted or fingerprint-mismatched file
+    is treated as absent and recomputed in place.
+
+    The returned table carries ``loaded_from_cache`` (``True`` when it was
+    read back rather than computed), which the cache-semantics tests and
+    the runner-scaling bench observe.
+    """
+    effective = config.with_prior(prior if prior is not None else config.prior)
+    if cache_dir is None:
+        return precompute_policy_table(config, prior, **precompute_kwargs)
+
+    path = policy_table_cache_path(cache_dir, effective, dict(precompute_kwargs))
+    if path.exists():
+        try:
+            table = PolicyTable.from_json(
+                path, expected_fingerprint=effective.fingerprint()
+            )
+            table.loaded_from_cache = True
+            return table
+        except (ConfigurationError, OSError, ValueError, KeyError, TypeError):
+            # Unreadable, truncated, or stale-schema file: fall through and
+            # recompute over it — the cache must never poison a run.
+            pass
+
+    table = precompute_policy_table(config, prior, **precompute_kwargs)
+    table.to_json(path)
     return table

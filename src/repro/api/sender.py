@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro._persist import default_cache_dir
 from repro.api.config import SenderConfig
-from repro.api.policy import PolicyTable, precompute_policy_table
+from repro.api.policy import PolicyTable, load_or_precompute_policy_table
 from repro.core.isender import ISender
 from repro.core.planner import ExpectedUtilityPlanner
 from repro.core.policy import PolicyCache
@@ -69,7 +70,12 @@ def build_components(
                 "policy='cache' / 'none'"
             )
         if policy_table is None:
-            policy_table = precompute_policy_table(config, prior)
+            # Share precomputed tables across runs and runner workers when a
+            # cache directory is configured (CLI --cache-dir exports
+            # $REPRO_CACHE_DIR); without one this is a plain precompute.
+            policy_table = load_or_precompute_policy_table(
+                config, prior, cache_dir=default_cache_dir()
+            )
         elif policy_table.fingerprint:
             # A stamped table refuses to serve a config it was not computed
             # for — stale entries would silently prescribe actions for the

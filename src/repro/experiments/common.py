@@ -9,9 +9,9 @@ one construction path new code should call directly.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
+from repro._deprecation import warn_deprecated
 from repro.api.config import SenderConfig
 from repro.api.sender import build_sender
 from repro.core import ISender
@@ -44,11 +44,14 @@ class SenderSettings:
     rollout_backend: str = "scalar"
 
     def __post_init__(self) -> None:
-        warnings.warn(
+        # warn_deprecated attributes the warning to the caller's own file and
+        # line whichever way the shim was constructed (direct call,
+        # dataclasses.replace, copy), so the default warning filter shows it
+        # exactly once per call site.
+        warn_deprecated(
             "SenderSettings is deprecated; construct a repro.api.SenderConfig "
             "and build senders with repro.api.build_sender",
-            DeprecationWarning,
-            stacklevel=3,
+            internal_files=(__file__,),
         )
 
     def to_config(self, prior: Prior | None = None) -> SenderConfig:

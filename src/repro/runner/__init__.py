@@ -7,8 +7,12 @@ seed fans, loss × delay × buffer grids) into explicit, schedulable work:
   expansion;
 * :mod:`repro.runner.registry` — named scenario functions resolvable by
   worker processes;
-* :mod:`repro.runner.backends` — :class:`SerialRunner` (default) and
-  :class:`ParallelRunner` (multiprocessing fan-out), both deterministic;
+* :mod:`repro.runner.backends` — :class:`SerialRunner` (default),
+  :class:`ParallelRunner` (multiprocessing fan-out), and
+  :class:`AsyncRunner` (asyncio over a process-pool executor), all
+  deterministic and resolvable by name through :data:`RUNNER_BACKENDS`;
+* :mod:`repro.runner.cache` — :class:`ResultCache`, persistent
+  fingerprint-keyed reuse of executed grid points;
 * :mod:`repro.runner.results` — :class:`ResultStore`, the canonical
   JSON/CSV artifact runs are compared by;
 * ``python -m repro.runner`` — the CLI entry point.
@@ -17,21 +21,37 @@ Built-in scenarios live in :mod:`repro.runner.scenarios` and are loaded on
 first name resolution (keeping imports acyclic with ``repro.experiments``).
 """
 
-from repro.runner.backends import ParallelRunner, RunnerBackend, SerialRunner, make_runner, run_specs
+from repro.runner.backends import (
+    RUNNER_BACKENDS,
+    AsyncRunner,
+    ParallelRunner,
+    RunnerBackend,
+    RunnerBase,
+    SerialRunner,
+    make_runner,
+    run_specs,
+)
+from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
 from repro.runner.registry import DEFAULT_REGISTRY, ScenarioEntry, ScenarioRegistry, scenario
 from repro.runner.results import PointResult, ResultStore
 from repro.runner.spec import ScenarioSpec, grid
 
 __all__ = [
+    "AsyncRunner",
+    "CACHE_DIR_ENV",
     "DEFAULT_REGISTRY",
     "ParallelRunner",
     "PointResult",
+    "RUNNER_BACKENDS",
+    "ResultCache",
     "ResultStore",
     "RunnerBackend",
+    "RunnerBase",
     "ScenarioEntry",
     "ScenarioRegistry",
     "ScenarioSpec",
     "SerialRunner",
+    "default_cache_dir",
     "grid",
     "make_runner",
     "run_specs",

@@ -1,40 +1,66 @@
-"""Execution backends: a serial loop and a multiprocessing fan-out.
+"""Execution backends: serial loop, multiprocessing fan-out, asyncio pool.
 
-Both backends expose the same two operations:
+Every backend derives from :class:`RunnerBase` and exposes the same two
+operations:
 
 * ``run(specs)`` — execute registered :class:`~repro.runner.spec.ScenarioSpec`
   points and aggregate their metrics into a
-  :class:`~repro.runner.results.ResultStore`;
+  :class:`~repro.runner.results.ResultStore`.  When the backend carries a
+  :class:`~repro.runner.cache.ResultCache`, points whose fingerprint-keyed
+  results are already on disk are replayed instead of executed — the store
+  comes back bit-identical to a cold run, with hit/miss counts attached;
 * ``map(fn, kwargs_list)`` — execute an arbitrary top-level function once
   per kwargs dict (what the experiment sweeps use, since they return rich
   result dataclasses rather than flat metric dicts).
 
 Results always come back in input order, and element-name counters are
 reset before every point, so a sweep's outcome is a pure function of its
-specs and seeds — identical serially, in parallel, and at any worker count.
-Only picklable tasks can cross process boundaries: specs, top-level
-functions, and dataclass results all qualify; closures do not.
+specs and seeds — identical serially, in parallel, asynchronously, and at
+any worker count.  Only picklable tasks can cross process boundaries:
+specs, top-level functions, and dataclass results all qualify; closures do
+not.
+
+Backends resolve by name through :data:`RUNNER_BACKENDS` — the same
+string-keyed :class:`~repro.api.backends.BackendRegistry` mechanism the
+belief and rollout engines use — so ``--backend async`` on the CLI and
+``make_runner("async")`` in code go through one lookup, and third-party
+backends can self-register without touching this module.
 """
 
 from __future__ import annotations
 
+import asyncio
+import concurrent.futures
 import multiprocessing
 import os
 import time
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Optional, Sequence
 
+from repro._persist import cache_dir_override
+from repro.api.backends import BackendRegistry
 from repro.errors import ConfigurationError
+from repro.runner.cache import ResultCache
 from repro.runner.registry import DEFAULT_REGISTRY, ScenarioRegistry
 from repro.runner.results import PointResult, ResultStore
 from repro.runner.spec import ScenarioSpec
 from repro.sim.element import fresh_instance_counters
 
 
-def _execute_point(task: tuple[ScenarioRegistry | None, ScenarioSpec]) -> PointResult:
-    """Run one registered spec (top-level so worker processes can import it)."""
-    registry, spec = task
+def _execute_point(
+    task: tuple[ScenarioRegistry | None, ScenarioSpec, str | None]
+) -> PointResult:
+    """Run one registered spec (top-level so worker processes can import it).
+
+    ``task`` carries the runner's cache directory (or ``None``): it is
+    exported as ``$REPRO_CACHE_DIR`` around this one execution, in this
+    process, so scenario internals that cache their own artifacts — the
+    policy-table precompute — share the directory whether the run was
+    launched from the CLI or programmatically, and concurrent runs with
+    different caches never see each other's export.
+    """
+    registry, spec, cache_env = task
     registry = registry if registry is not None else DEFAULT_REGISTRY
-    with fresh_instance_counters():
+    with fresh_instance_counters(), cache_dir_override(cache_env):
         started = time.perf_counter()
         metrics = registry.run_point(spec)
         return PointResult(spec=spec, metrics=metrics, wall_time=time.perf_counter() - started)
@@ -47,30 +73,142 @@ def _execute_call(task: tuple[Callable[..., Any], Mapping[str, Any]]) -> Any:
         return fn(**kwargs)
 
 
-class SerialRunner:
+class RunnerBase:
+    """Shared run/map plumbing; subclasses supply ``_map`` (the fan-out).
+
+    Parameters
+    ----------
+    registry:
+        Registry to resolve spec names against (defaults to the
+        process-wide one).  A custom registry must hold module-level
+        functions for the process-pool backends, so it can be pickled.
+    cache:
+        Optional :class:`~repro.runner.cache.ResultCache`.  ``run`` then
+        consults it per point before executing, stores every freshly
+        executed point, and stamps the returned store's
+        ``cache_hits`` / ``cache_misses``.
+    """
+
+    backend_name = "base"
+
+    def __init__(
+        self,
+        registry: ScenarioRegistry | None = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self._registry = registry
+        self.cache = cache
+
+    # ----------------------------------------------------------------- fan-out
+
+    def _map(self, worker: Callable[[Any], Any], tasks: list[Any]) -> list[Any]:
+        raise NotImplementedError
+
+    def map(self, fn: Callable[..., Any], tasks: Sequence[Mapping[str, Any]]) -> list[Any]:
+        """Run ``fn(**kwargs)`` per task, preserving input order."""
+        return self._map(_execute_call, [(fn, kwargs) for kwargs in tasks])
+
+    # --------------------------------------------------------- cache plumbing
+
+    def _point_task(
+        self, spec: ScenarioSpec
+    ) -> tuple[ScenarioRegistry | None, ScenarioSpec, str | None]:
+        """The ``_execute_point`` task for one spec, cache directory included."""
+        cache_env = str(self.cache.root) if self.cache is not None else None
+        return (self._registry, spec, cache_env)
+
+    def _cache_partition(
+        self, specs: Sequence[ScenarioSpec]
+    ) -> tuple[dict[int, PointResult], list[str], list[tuple[int, ScenarioSpec]]]:
+        """Split ``specs`` into replayed hits and still-pending points."""
+        results: dict[int, PointResult] = {}
+        keys: list[str] = []
+        pending: list[tuple[int, ScenarioSpec]] = []
+        for index, spec in enumerate(specs):
+            key = self.cache.point_key(spec, registry=self._registry)
+            keys.append(key)
+            cached = self.cache.load_point(key, spec)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append((index, spec))
+        return results, keys, pending
+
+    def _cache_assemble(
+        self,
+        specs: Sequence[ScenarioSpec],
+        results: dict[int, PointResult],
+        keys: list[str],
+        pending: list[tuple[int, ScenarioSpec]],
+        executed: list[PointResult],
+    ) -> ResultStore:
+        """Store fresh executions and reassemble the store in spec order."""
+        for (index, _), result in zip(pending, executed):
+            self.cache.store_point(keys[index], result)
+            results[index] = result
+        store = ResultStore()
+        store.extend(results[index] for index in range(len(specs)))
+        store.cache_hits = len(specs) - len(pending)
+        store.cache_misses = len(pending)
+        return store
+
+    # --------------------------------------------------------------------- run
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> ResultStore:
+        """Execute registered scenario points and aggregate their metrics.
+
+        With a cache attached, each point's fingerprint-derived key is
+        looked up first; only the misses are fanned out, and their results
+        are stored back.  The assembled store preserves spec order either
+        way, so a warm rerun's canonical artifact is byte-identical to the
+        cold run that populated the cache.
+        """
+        if self.cache is None:
+            store = ResultStore()
+            store.extend(self._map(_execute_point, [self._point_task(spec) for spec in specs]))
+            return store
+        results, keys, pending = self._cache_partition(specs)
+        executed = self._map(
+            _execute_point, [self._point_task(spec) for _, spec in pending]
+        )
+        return self._cache_assemble(specs, results, keys, pending, executed)
+
+
+class SerialRunner(RunnerBase):
     """Runs every point in the current process, one after another.
 
     The default backend: zero overhead, ideal for tiny sweeps and for unit
     tests, and the reference a parallel run must reproduce byte-for-byte.
+    ``workers`` is accepted and ignored, so every registered backend shares
+    one construction signature (the ``RUNNER_BACKENDS`` contract).
     """
 
     backend_name = "serial"
 
-    def __init__(self, registry: ScenarioRegistry | None = None) -> None:
-        self._registry = registry
+    def __init__(
+        self,
+        registry: ScenarioRegistry | None = None,
+        cache: Optional[ResultCache] = None,
+        *,
+        workers: int | None = None,
+    ) -> None:
+        super().__init__(registry=registry, cache=cache)
 
-    def map(self, fn: Callable[..., Any], tasks: Sequence[Mapping[str, Any]]) -> list[Any]:
-        """``[fn(**kwargs) for kwargs in tasks]`` with per-point counter resets."""
-        return [_execute_call((fn, kwargs)) for kwargs in tasks]
-
-    def run(self, specs: Sequence[ScenarioSpec]) -> ResultStore:
-        """Execute registered scenario points and aggregate their metrics."""
-        store = ResultStore()
-        store.extend(_execute_point((self._registry, spec)) for spec in specs)
-        return store
+    def _map(self, worker: Callable[[Any], Any], tasks: list[Any]) -> list[Any]:
+        return [worker(task) for task in tasks]
 
 
-class ParallelRunner:
+class _PoolSizingMixin:
+    """Worker-count resolution shared by the process-pool backends."""
+
+    workers: int | None
+
+    def _pool_size(self, task_count: int) -> int:
+        workers = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        return max(1, min(workers, task_count))
+
+
+class ParallelRunner(_PoolSizingMixin, RunnerBase):
     """Fans points out over a ``multiprocessing`` pool.
 
     Parameters
@@ -78,10 +216,8 @@ class ParallelRunner:
     workers:
         Worker process count; defaults to the machine's CPU count capped at
         the number of tasks submitted.
-    registry:
-        Registry to resolve spec names against (defaults to the process-wide
-        one).  A custom registry must hold module-level functions so it can
-        be pickled to the workers.
+    registry / cache:
+        See :class:`RunnerBase`.
     chunksize:
         Tasks handed to a worker at a time.  1 (the default) gives the best
         load balance for heterogeneous points like an α sweep, where the
@@ -100,19 +236,16 @@ class ParallelRunner:
         registry: ScenarioRegistry | None = None,
         chunksize: int = 1,
         start_method: str | None = None,
+        cache: Optional[ResultCache] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
         if chunksize < 1:
             raise ConfigurationError(f"chunksize must be >= 1, got {chunksize!r}")
+        super().__init__(registry=registry, cache=cache)
         self.workers = workers
-        self._registry = registry
         self.chunksize = chunksize
         self.start_method = start_method
-
-    def _pool_size(self, task_count: int) -> int:
-        workers = self.workers if self.workers is not None else (os.cpu_count() or 1)
-        return max(1, min(workers, task_count))
 
     def _map(self, worker: Callable[[Any], Any], tasks: list[Any]) -> list[Any]:
         if not tasks:
@@ -127,32 +260,150 @@ class ParallelRunner:
             # regardless of completion order.
             return pool.map(worker, tasks, chunksize=self.chunksize)
 
-    def map(self, fn: Callable[..., Any], tasks: Sequence[Mapping[str, Any]]) -> list[Any]:
-        """Run ``fn(**kwargs)`` per task across the pool, preserving order."""
-        return self._map(_execute_call, [(fn, kwargs) for kwargs in tasks])
 
-    def run(self, specs: Sequence[ScenarioSpec]) -> ResultStore:
-        """Execute registered scenario points across the pool."""
-        store = ResultStore()
-        store.extend(self._map(_execute_point, [(self._registry, spec) for spec in specs]))
-        return store
+class AsyncRunner(_PoolSizingMixin, RunnerBase):
+    """Schedules points as asyncio tasks over a process-pool executor.
+
+    The asyncio layer is the seam for overlap: while worker processes chew
+    on simulation points, the event loop stays free for cache lookups,
+    result streaming, or (future) remote backends awaiting network I/O.
+    ``run``/``map`` stay synchronous — they spin the loop internally — and
+    :meth:`run_async` / :meth:`map_async` expose the coroutine surface for
+    callers that already live inside an event loop (pass their own
+    executor lifetime implicitly per call).
+
+    Parameters
+    ----------
+    workers:
+        Executor process count; defaults to the CPU count capped at the
+        number of submitted tasks.
+    registry / cache:
+        See :class:`RunnerBase`.
+    max_in_flight:
+        Cap on simultaneously *submitted* tasks; ``None`` submits
+        everything at once.  Useful to bound memory when a sweep has many
+        thousands of points.
+    start_method:
+        ``multiprocessing`` start method for the executor's workers.
+    """
+
+    backend_name = "async"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        registry: ScenarioRegistry | None = None,
+        max_in_flight: int | None = None,
+        start_method: str | None = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ConfigurationError(
+                f"max_in_flight must be >= 1, got {max_in_flight!r}"
+            )
+        super().__init__(registry=registry, cache=cache)
+        self.workers = workers
+        self.max_in_flight = max_in_flight
+        self.start_method = start_method
+
+    async def _gather(self, worker: Callable[[Any], Any], tasks: list[Any]) -> list[Any]:
+        loop = asyncio.get_running_loop()
+        context = multiprocessing.get_context(self.start_method)
+        semaphore = (
+            asyncio.Semaphore(self.max_in_flight)
+            if self.max_in_flight is not None
+            else None
+        )
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self._pool_size(len(tasks)), mp_context=context
+        ) as pool:
+
+            async def submit(task: Any) -> Any:
+                if semaphore is None:
+                    return await loop.run_in_executor(pool, worker, task)
+                async with semaphore:
+                    return await loop.run_in_executor(pool, worker, task)
+
+            # gather preserves argument order, which keeps artifacts
+            # canonical regardless of completion order.
+            return list(await asyncio.gather(*(submit(task) for task in tasks)))
+
+    def _map(self, worker: Callable[[Any], Any], tasks: list[Any]) -> list[Any]:
+        if not tasks:
+            return []
+        if self._pool_size(len(tasks)) == 1 and self.workers in (None, 1):
+            return [worker(task) for task in tasks]
+        return asyncio.run(self._gather(worker, tasks))
+
+    # ------------------------------------------------------- coroutine surface
+
+    async def map_async(
+        self, fn: Callable[..., Any], tasks: Sequence[Mapping[str, Any]]
+    ) -> list[Any]:
+        """``map`` as a coroutine, for callers already inside an event loop."""
+        if not tasks:
+            return []
+        return await self._gather(_execute_call, [(fn, kwargs) for kwargs in tasks])
+
+    async def run_async(self, specs: Sequence[ScenarioSpec]) -> ResultStore:
+        """``run`` as a coroutine (cache consulted on the event-loop thread).
+
+        Shares :meth:`RunnerBase.run`'s cache partition/assemble helpers;
+        only the fan-out in between is awaited instead of blocked on.
+        """
+
+        async def gather(tasks: list[Any]) -> list[Any]:
+            return await self._gather(_execute_point, tasks) if tasks else []
+
+        if self.cache is None:
+            store = ResultStore()
+            store.extend(await gather([self._point_task(spec) for spec in specs]))
+            return store
+        results, keys, pending = self._cache_partition(specs)
+        executed = await gather([self._point_task(spec) for _, spec in pending])
+        return self._cache_assemble(specs, results, keys, pending, executed)
 
 
-#: Either execution backend — what experiment sweeps accept as ``runner=``.
-RunnerBackend = SerialRunner | ParallelRunner
+#: Any execution backend — what experiment sweeps accept as ``runner=``.
+RunnerBackend = RunnerBase
+
+#: Runner backends by name — the registry ``make_runner`` and the CLI's
+#: ``--backend`` flag resolve through, mirroring ``BELIEF_BACKENDS`` /
+#: ``ROLLOUT_BACKENDS``.  Third-party backends register a RunnerBase
+#: subclass accepting ``(workers=, registry=, cache=)`` keywords.
+RUNNER_BACKENDS = BackendRegistry(
+    "runner",
+    builtin_modules={
+        "serial": "repro.runner.backends",
+        "parallel": "repro.runner.backends",
+        "async": "repro.runner.backends",
+    },
+)
+RUNNER_BACKENDS.register("serial", SerialRunner)
+RUNNER_BACKENDS.register("parallel", ParallelRunner)
+RUNNER_BACKENDS.register("async", AsyncRunner)
 
 
 def make_runner(
     backend: str = "serial",
     workers: int | None = None,
     registry: ScenarioRegistry | None = None,
-) -> SerialRunner | ParallelRunner:
-    """Build a backend by name — the switch the CLI and examples expose."""
-    if backend == "serial":
-        return SerialRunner(registry=registry)
-    if backend == "parallel":
-        return ParallelRunner(workers=workers, registry=registry)
-    raise ConfigurationError(f"unknown backend {backend!r}; expected 'serial' or 'parallel'")
+    cache: Optional[ResultCache] = None,
+    cache_dir: "str | os.PathLike[str] | None" = None,
+) -> RunnerBase:
+    """Build a backend by name — the switch the CLI and examples expose.
+
+    ``cache_dir`` is shorthand for ``cache=ResultCache(cache_dir)``; an
+    explicit ``cache`` instance wins when both are given.  ``workers`` is
+    accepted (and ignored) by the serial backend so sweep code can thread
+    one knob through regardless of the chosen backend.
+    """
+    cls = RUNNER_BACKENDS.resolve(backend)
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    return cls(workers=workers, registry=registry, cache=cache)
 
 
 def run_specs(
@@ -160,6 +411,14 @@ def run_specs(
     backend: str = "serial",
     workers: int | None = None,
     registry: ScenarioRegistry | None = None,
+    cache: Optional[ResultCache] = None,
+    cache_dir: "str | os.PathLike[str] | None" = None,
 ) -> ResultStore:
     """One-call convenience: build a backend and run ``specs`` through it."""
-    return make_runner(backend=backend, workers=workers, registry=registry).run(specs)
+    return make_runner(
+        backend=backend,
+        workers=workers,
+        registry=registry,
+        cache=cache,
+        cache_dir=cache_dir,
+    ).run(specs)

@@ -1,0 +1,171 @@
+"""Persistent, fingerprint-keyed reuse of executed grid points.
+
+A sweep's value here comes from running the paper's sender across many
+scenarios — alpha grids, backend ablations, policy modes — and most of a
+re-run repeats points an earlier run already executed.  :class:`ResultCache`
+makes those repeats free: every executed :class:`~repro.runner.results.PointResult`
+is stored on disk under a key derived from
+
+* the spec identity (scenario name, canonical params, base seed), and
+* the point's :meth:`~repro.api.config.SenderConfig.fingerprint`, when the
+  scenario declares how its parameters map to a sender configuration
+  (see ``config_factory`` on :class:`~repro.runner.registry.ScenarioEntry`).
+
+The fingerprint component catches configuration-semantics drift that
+scenario params alone cannot see — a changed ``SenderConfig`` default, a
+bumped ``FINGERPRINT_VERSION`` — and the package version is folded into
+every key so released behaviour changes invalidate wholesale.  What no key
+can see is an *unreleased* edit to simulator or scenario code: after such a
+change, bump :data:`CACHE_SCHEMA_VERSION` or point sweeps at a fresh
+``--cache-dir`` (the cache is opt-in precisely so stale replay is never a
+silent default).
+
+Warm replays are bit-identical by construction — the cache stores the
+point's metrics (and original wall time) and the runner reassembles the
+same canonical :class:`~repro.runner.results.ResultStore` artifact, which
+``benchmarks/bench_runner_cache.py`` gates at a ≥5× warm-rerun speedup.
+
+Writes are atomic (process-unique temp file + :func:`os.replace`), so any
+number of runner processes can share one cache directory; corrupted files
+read as misses and are overwritten by the next execution.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro._persist import CACHE_DIR_ENV, atomic_write_text, default_cache_dir
+from repro._version import __version__
+from repro.api.config import canonical_digest
+from repro.runner.registry import DEFAULT_REGISTRY, ScenarioRegistry
+from repro.runner.results import PointResult
+from repro.runner.spec import ScenarioSpec
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "default_cache_dir",
+]
+
+#: Cache layout version; bumping it invalidates every stored point.
+CACHE_SCHEMA_VERSION = 1
+
+
+class ResultCache:
+    """Disk-backed map from grid-point identity to executed results.
+
+    Parameters
+    ----------
+    root:
+        Directory to store entries under (created lazily on first write).
+        Point files live at ``root/results/<key[:2]>/<key>.json``.
+
+    Hit/miss/store counts accumulate on the instance; the runner copies
+    them onto the :class:`~repro.runner.results.ResultStore` it returns so
+    the CLI can report them per sweep.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: Files that existed but could not be read back (corruption).
+        self.invalid = 0
+
+    # ---------------------------------------------------------------- identity
+
+    def point_key(
+        self, spec: ScenarioSpec, registry: Optional[ScenarioRegistry] = None
+    ) -> str:
+        """The cache key of one grid point.
+
+        ``params`` enter the key exactly as the spec spells them — the
+        same raw form :attr:`~repro.runner.spec.ScenarioSpec.derived_seed`
+        hashes, so two spellings that execute with different derived seeds
+        (an omitted default vs. the same value written out) never share a
+        slot.  The *resolved defaults* are a separate key component: two
+        registries that register one name with different defaults never
+        share entries, and a changed signature or registration default
+        invalidates naturally.  The scenario function's module-qualified
+        identity and the scenario's config fingerprint tie the entry to
+        the code object and the exact
+        :class:`~repro.api.config.SenderConfig` semantics that produced it.
+        """
+        registry = registry if registry is not None else DEFAULT_REGISTRY
+        entry = registry.get(spec.scenario)
+        return canonical_digest(
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "version": __version__,
+                "scenario": spec.scenario,
+                "fn": f"{entry.fn.__module__}.{entry.fn.__qualname__}",
+                "params": spec.params,
+                "defaults": entry.effective_params({}),
+                "seed": spec.seed,
+                "config": entry.config_fingerprint(spec.params),
+            },
+            length=64,
+        )
+
+    def _path(self, key: str) -> Path:
+        return self.root / "results" / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------ lookup
+
+    def load_point(self, key: str, spec: ScenarioSpec) -> Optional[PointResult]:
+        """The cached result under ``key``, or ``None`` (a miss).
+
+        Every failure mode — missing file, truncated JSON, wrong schema,
+        or an entry whose recorded spec does not match ``spec`` (hash
+        paranoia) — reads as a miss; the subsequent execution overwrites
+        the slot.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.invalid += 1
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA_VERSION
+            or payload.get("spec") != spec.canonical()
+            or not isinstance(payload.get("metrics"), dict)
+        ):
+            self.invalid += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return PointResult(
+            spec=spec,
+            metrics=dict(payload["metrics"]),
+            wall_time=float(payload.get("wall_time", 0.0)),
+        )
+
+    # ------------------------------------------------------------------- store
+
+    def store_point(self, key: str, result: PointResult) -> Path:
+        """Persist ``result`` under ``key`` (atomic, last writer wins)."""
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "spec": result.spec.canonical(),
+            "metrics": dict(result.metrics),
+            "wall_time": result.wall_time,
+        }
+        # No sort_keys: the scenario's metric *insertion order* is part of
+        # the replayed artifact (CSV columns and printed tables follow it),
+        # and JSON object order survives the round trip.  default=str
+        # matches ResultStore.to_json, so a replayed store serializes
+        # byte-for-byte like the cold run that populated it.
+        text = json.dumps(payload, separators=(",", ":"), default=str)
+        path = atomic_write_text(self._path(key), text + "\n")
+        self.stores += 1
+        return path

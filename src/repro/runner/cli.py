@@ -5,10 +5,18 @@
     python -m repro.runner list
     python -m repro.runner run figure3_alpha --sweep alpha=0.9,1,2.5,5 \
         --backend parallel --workers 4 --json sweep.json
+    python -m repro.runner run figure3_alpha --sweep alpha=0.9,1,2.5,5 \
+        --backend async --cache-dir .repro-cache
 
 ``run`` expands ``--sweep`` axes into the cross product of points (times
 ``--seeds`` trials), executes them on the chosen backend, prints the metric
 table, and optionally writes the canonical JSON / CSV artifacts.
+
+With ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) every executed point is
+persisted under its fingerprint-derived key and replayed on later runs —
+a warm rerun of the same grid reports all hits and produces bit-identical
+artifacts.  ``--no-cache`` forces execution even when a cache directory is
+configured in the environment.
 """
 
 from __future__ import annotations
@@ -18,9 +26,11 @@ import sys
 import time
 from typing import Any, Sequence
 
+from repro._persist import cache_dir_override
 from repro.errors import ConfigurationError
 from repro.metrics.summary import format_table
-from repro.runner.backends import run_specs
+from repro.runner.backends import RUNNER_BACKENDS, run_specs
+from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
 from repro.runner.registry import DEFAULT_REGISTRY
 from repro.runner.spec import grid
 
@@ -87,11 +97,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--backend",
-        choices=("serial", "parallel"),
+        choices=tuple(RUNNER_BACKENDS.names()),
         default="serial",
         help="execution backend (default serial)",
     )
     run.add_argument("--workers", type=int, default=None, help="parallel worker count")
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persist executed points under PATH and replay them on reruns "
+            f"(default: ${CACHE_DIR_ENV} when set, else no caching)"
+        ),
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="execute every point even when a cache directory is configured",
+    )
     run.add_argument("--json", default=None, metavar="PATH", help="write canonical JSON artifact")
     run.add_argument("--csv", default=None, metavar="PATH", help="write CSV artifact")
     run.add_argument("--timing", action="store_true", help="include per-point wall time")
@@ -125,12 +149,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     entry = DEFAULT_REGISTRY.get(args.scenario)
     entry.validate_params({**base, **axes})
 
+    if args.no_cache and args.cache_dir is not None:
+        raise ConfigurationError(
+            "--no-cache and --cache-dir are contradictory; pass one or the other"
+        )
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+        if cache_dir is not None:
+            # The runner exports the directory per point execution, so
+            # workers and the policy-table precompute path share it.
+            cache = ResultCache(cache_dir)
+
     started = time.perf_counter()
-    store = run_specs(specs, backend=args.backend, workers=args.workers)
+    # With --no-cache, clear the inherited $REPRO_CACHE_DIR for the run's
+    # duration so the policy-table precompute path cannot reuse artifacts
+    # either; the caller's environment is restored afterwards.
+    with cache_dir_override(None, clear=args.no_cache):
+        store = run_specs(specs, backend=args.backend, workers=args.workers, cache=cache)
     elapsed = time.perf_counter() - started
 
     title = f"{args.scenario}: {len(store)} points via {args.backend} backend in {elapsed:.2f}s"
     print(format_table(store.rows(), title=title))
+    if cache is not None:
+        print(
+            f"cache: {store.cache_hits} hit(s), {store.cache_misses} miss(es) "
+            f"in {cache.root}"
+        )
     if args.timing:
         print(f"\nper-point wall time total: {store.total_wall_time:.2f}s")
     if args.json:

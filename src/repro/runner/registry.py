@@ -20,6 +20,7 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
+from repro._persist import signature_defaults
 from repro.errors import ConfigurationError
 from repro.runner.spec import ScenarioSpec
 
@@ -40,6 +41,36 @@ class ScenarioEntry:
     defaults: dict[str, Any] = field(default_factory=dict)
     #: Parameter names the function accepts, or ``None`` if it takes **kwargs.
     accepted_params: frozenset[str] | None = None
+    #: The function's own signature defaults, captured at registration so
+    #: the result cache can key points on their fully *effective* params.
+    signature_defaults: dict[str, Any] = field(default_factory=dict)
+    #: Maps a point's effective params to the
+    #: :class:`~repro.api.config.SenderConfig` the scenario will build for
+    #: them, or ``None`` when the scenario has no sender configuration.  The
+    #: result cache folds the config's ``fingerprint()`` into each point's
+    #: key, so cached results invalidate when configuration *semantics*
+    #: change even though the params did not.
+    config_factory: Callable[[Mapping[str, Any]], Any] | None = None
+
+    def effective_params(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """The params the scenario actually executes with for a point.
+
+        Signature defaults, overlaid by registration defaults, overlaid by
+        the point's own params — the resolution
+        :meth:`ScenarioRegistry.run_point` plus the function call perform.
+        Captured from the signature at registration, so the cache and the
+        config factory can never drift from what the function really uses.
+        """
+        merged = dict(self.signature_defaults)
+        merged.update(self.defaults)
+        merged.update(params)
+        return merged
+
+    def config_fingerprint(self, params: Mapping[str, Any]) -> str:
+        """The point's ``SenderConfig.fingerprint()``, or ``""`` without one."""
+        if self.config_factory is None:
+            return ""
+        return self.config_factory(self.effective_params(params)).fingerprint()
 
     def validate_params(self, params: Mapping[str, Any]) -> None:
         """Reject unknown or reserved parameter names with a readable error."""
@@ -73,6 +104,11 @@ def _accepted_params(fn: ScenarioFn) -> frozenset[str] | None:
     )
 
 
+def _signature_defaults(fn: ScenarioFn) -> dict[str, Any]:
+    """The function's own parameter defaults (``seed`` excluded)."""
+    return signature_defaults(fn, exclude=("seed",))
+
+
 class ScenarioRegistry:
     """Mutable mapping of scenario names to :class:`ScenarioEntry`.
 
@@ -96,12 +132,15 @@ class ScenarioRegistry:
         name: str | None = None,
         *,
         description: str = "",
+        config_factory: Callable[[Mapping[str, Any]], Any] | None = None,
         **defaults: Any,
     ) -> Callable[[ScenarioFn], ScenarioFn]:
         """Decorator registering a scenario function.
 
         ``name`` defaults to the function's own name; ``description``
-        defaults to the first line of its docstring.  Extra keywords become
+        defaults to the first line of its docstring.  ``config_factory``
+        (params → ``SenderConfig``) lets the result cache key the
+        scenario's points on the config fingerprint.  Extra keywords become
         default parameters merged under the spec's params at run time.
         """
 
@@ -116,6 +155,8 @@ class ScenarioRegistry:
                 description=doc,
                 defaults=dict(defaults),
                 accepted_params=_accepted_params(fn),
+                signature_defaults=_signature_defaults(fn),
+                config_factory=config_factory,
             )
             return fn
 

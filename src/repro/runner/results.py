@@ -52,6 +52,13 @@ class ResultStore:
     """An ordered collection of :class:`PointResult` with stable serialization."""
 
     results: list[PointResult] = field(default_factory=list)
+    #: Points replayed from a :class:`~repro.runner.cache.ResultCache` /
+    #: executed fresh by the run that produced this store.  Bookkeeping
+    #: only — deliberately excluded from the canonical JSON artifact, which
+    #: must stay a pure function of specs and metrics (a warm rerun is
+    #: byte-identical to the cold run that populated the cache).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     # ------------------------------------------------------------- collection
 
@@ -63,7 +70,11 @@ class ResultStore:
 
     def merge(self, other: "ResultStore") -> "ResultStore":
         """Return a new store holding this store's points then ``other``'s."""
-        return ResultStore(results=[*self.results, *other.results])
+        return ResultStore(
+            results=[*self.results, *other.results],
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+        )
 
     def __len__(self) -> int:
         return len(self.results)

@@ -12,7 +12,7 @@ This module is imported lazily by the registry (first name resolution), so
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.api.config import SenderConfig
 from repro.baselines.newreno import NewRenoSender
@@ -32,6 +32,46 @@ from repro.runner.registry import scenario
 from repro.runner.spec import ScenarioSpec, grid
 from repro.sim.element import Network
 from repro.units import DEFAULT_PACKET_BITS
+
+# ------------------------------------------------------------ config factories
+#
+# Scenarios that build a SenderConfig declare how their parameters map to
+# one, in a single place shared by the scenario body and the registry's
+# ``config_factory`` hook.  The result cache folds the factory's
+# ``fingerprint()`` into each point's key, so cached points invalidate when
+# configuration semantics change (a new SenderConfig default, a bumped
+# FINGERPRINT_VERSION) even though the scenario params did not.
+#
+# Factories index ``params`` rather than carrying their own defaults: the
+# registry hands them the point's *effective* params (signature defaults
+# already resolved via ``ScenarioEntry.effective_params``), so a changed
+# scenario-signature default can never drift from what the cache keys on.
+
+
+def figure3_alpha_config(params: Mapping[str, Any]) -> SenderConfig:
+    """The :class:`SenderConfig` a ``figure3_alpha`` point builds."""
+    return SenderConfig(
+        belief_backend=params["belief_backend"],
+        rollout_backend=params["rollout_backend"],
+        policy=params["policy"],
+    )
+
+
+def inference_ablation_config(params: Mapping[str, Any]) -> SenderConfig:
+    """The :class:`SenderConfig` an ``inference_ablation_point`` builds."""
+    policy = params["policy"]
+    if not policy:
+        policy = "cache" if params["use_policy_cache"] else "none"
+    return SenderConfig(
+        kernel=params["kernel"],
+        kernel_scale=params["kernel_scale"],
+        max_hypotheses=params["max_hypotheses"],
+        top_k=params["top_k"],
+        belief_backend=params["backend"],
+        rollout_backend=params["rollout_backend"],
+        policy=policy,
+    )
+
 
 # --------------------------------------------------------------------- figures
 
@@ -65,7 +105,7 @@ def figure1(
     }
 
 
-@scenario()
+@scenario(config_factory=figure3_alpha_config)
 def figure3_alpha(
     seed: int = 1,
     alpha: float = 1.0,
@@ -97,10 +137,12 @@ def figure3_alpha(
         loss_rate=loss_rate,
         buffer_capacity_bits=buffer_capacity_bits,
         seed=seed,
-        settings=SenderConfig(
-            belief_backend=belief_backend,
-            rollout_backend=rollout_backend,
-            policy=policy,
+        settings=figure3_alpha_config(
+            {
+                "belief_backend": belief_backend,
+                "rollout_backend": rollout_backend,
+                "policy": policy,
+            }
         ),
     )
     return {
@@ -191,7 +233,7 @@ def loss_comparison(
     }
 
 
-@scenario()
+@scenario(config_factory=inference_ablation_config)
 def inference_ablation_point(
     seed: int = 2,
     duration: float = 30.0,
@@ -216,22 +258,28 @@ def inference_ablation_point(
             --sweep rollout_backend=scalar,vectorized \\
             --sweep policy=none,cache,table
     """
-    if not policy:
-        policy = "cache" if use_policy_cache else "none"
+    # The factory owns the empty-policy fallback rule (use_policy_cache
+    # compatibility), so the executed config and the cache-key fingerprint
+    # can never resolve it differently.
+    config = inference_ablation_config(
+        {
+            "kernel": kernel,
+            "kernel_scale": kernel_scale,
+            "max_hypotheses": max_hypotheses,
+            "top_k": top_k,
+            "backend": backend,
+            "rollout_backend": rollout_backend,
+            "policy": policy,
+            "use_policy_cache": use_policy_cache,
+        }
+    )
     label = (
-        f"{kernel}/{max_hypotheses}hyp/top{top_k}/{backend}/{rollout_backend}/{policy}"
+        f"{kernel}/{max_hypotheses}hyp/top{top_k}/{backend}/{rollout_backend}/"
+        f"{config.policy}"
     )
     outcome = run_ablation_point(
         label,
-        SenderConfig(
-            kernel=kernel,
-            kernel_scale=kernel_scale,
-            max_hypotheses=max_hypotheses,
-            top_k=top_k,
-            belief_backend=backend,
-            rollout_backend=rollout_backend,
-            policy=policy,
-        ),
+        config,
         duration=duration,
         link_rate_bps=link_rate_bps,
         loss_rate=loss_rate,

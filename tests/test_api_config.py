@@ -187,6 +187,52 @@ class TestDeprecatedShims:
         with pytest.warns(DeprecationWarning, match="AblationConfig is deprecated"):
             AblationConfig(label="old")
 
+    def test_shim_warnings_point_at_the_call_site(self):
+        """The warning blames the caller's file/line on every entry path.
+
+        A fixed ``stacklevel`` was right for direct construction but blamed
+        ``dataclasses.py`` for shims built through ``dataclasses.replace``;
+        the stack-walking helper must attribute both to this file.
+        """
+        import dataclasses
+        import warnings
+
+        from repro.experiments.ablation import AblationConfig
+        from repro.experiments.common import SenderSettings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            settings = SenderSettings()
+            dataclasses.replace(settings, alpha=2.0)
+            old = AblationConfig(label="old")
+            dataclasses.replace(old, top_k=4)
+        assert len(caught) == 4
+        lines = set()
+        for warning in caught:
+            assert warning.category is DeprecationWarning
+            assert warning.filename == __file__, warning.filename
+            lines.add(warning.lineno)
+        assert len(lines) == 4  # four distinct call sites, four locations
+
+    def test_shim_warns_exactly_once_per_call_site(self):
+        """Under the default filter, a looped call site warns only once.
+
+        Correct call-site attribution is what makes the interpreter's
+        per-location deduplication work: three constructions from one line
+        are one warning, a second line is a second warning.
+        """
+        import warnings
+
+        from repro.experiments.common import SenderSettings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.resetwarnings()
+            warnings.simplefilter("default")
+            for _ in range(3):
+                SenderSettings()  # one call site, three executions
+            SenderSettings()  # a different call site
+        assert len(caught) == 2
+
     def test_sender_settings_to_config_maps_every_field(self):
         from repro.experiments.common import SenderSettings
 

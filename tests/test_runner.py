@@ -218,8 +218,14 @@ class TestBackends:
     def test_make_runner_validates_backend(self):
         assert make_runner("serial").backend_name == "serial"
         assert make_runner("parallel", workers=2).backend_name == "parallel"
+        assert make_runner("async", workers=2).backend_name == "async"
         with pytest.raises(ConfigurationError):
-            make_runner("async")
+            make_runner("quantum")
+
+    def test_runner_backend_registry_names(self):
+        from repro.runner import RUNNER_BACKENDS
+
+        assert RUNNER_BACKENDS.names() == ["async", "parallel", "serial"]
 
     def test_parallel_runner_validates_workers(self):
         from repro.runner import ParallelRunner
