@@ -11,8 +11,17 @@ Usage::
     python benchmarks/compare.py BENCH_inference.json \
         --baseline baselines/BENCH_inference.json --max-regression 0.25
 
+    # Gate several records in one invocation, each against the baseline of
+    # the same filename under the given directory (records without a
+    # committed baseline are checked against their own gates only):
+    python benchmarks/compare.py BENCH_*.json \
+        --baseline-dir benchmarks/baselines --max-regression 1.0
+
 Exit status: 0 all gates pass, 1 at least one failure, 2 usage error.
-Records are produced by ``pytest -m bench`` (see benchmarks/conftest.py).
+``--baseline`` pairs one baseline with one record; passing it alongside
+multiple records is a usage error (every record would be gated against the
+same — wrong — baseline).  Records are produced by ``pytest -m bench``
+(see benchmarks/conftest.py).
 """
 
 from __future__ import annotations
@@ -39,7 +48,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("records", nargs="+", help="BENCH_*.json files to check")
     parser.add_argument(
         "--baseline",
-        help="baseline BENCH_*.json to compare time-like metrics against",
+        help=(
+            "baseline BENCH_*.json to compare time-like metrics against "
+            "(single record only; use --baseline-dir for several records)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        help=(
+            "directory of committed baselines; each record is compared "
+            "against the file of the same name under it, records without "
+            "one are gate-checked only"
+        ),
     )
     parser.add_argument(
         "--max-regression",
@@ -59,18 +79,43 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = None
+    if args.baseline and args.baseline_dir:
+        print("--baseline and --baseline-dir are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.baseline and len(args.records) > 1:
+        # One baseline cannot gate several records: every record would be
+        # compared against the wrong trajectory.  Match by filename instead.
+        print(
+            "--baseline pairs one baseline with one record; "
+            "use --baseline-dir to gate several records at once",
+            file=sys.stderr,
+        )
+        return 2
+    single_baseline = None
     if args.baseline:
         if not Path(args.baseline).exists():
             print(f"baseline {args.baseline!r} does not exist", file=sys.stderr)
             return 2
-        baseline = BenchRecord.load(args.baseline)
+        single_baseline = BenchRecord.load(args.baseline)
+    baseline_dir = None
+    if args.baseline_dir:
+        baseline_dir = Path(args.baseline_dir)
+        if not baseline_dir.is_dir():
+            print(f"baseline dir {args.baseline_dir!r} does not exist", file=sys.stderr)
+            return 2
 
     failed = False
     for record_path in args.records:
         if not Path(record_path).exists():
             print(f"record {record_path!r} does not exist", file=sys.stderr)
             return 2
+        baseline = single_baseline
+        if baseline_dir is not None:
+            candidate = baseline_dir / Path(record_path).name
+            if candidate.exists():
+                baseline = BenchRecord.load(candidate)
+            else:
+                print(f"note: no baseline for {record_path} under {baseline_dir}; gates only")
         record = BenchRecord.load(record_path)
         gate_failures = record.check_gates()
         _print_failures("gate", gate_failures)

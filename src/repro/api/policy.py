@@ -179,6 +179,7 @@ class PolicyTable(PolicyCache):
             "fingerprint": self.fingerprint,
             "queue_resolution_bits": self.queue_resolution_bits,
             "top_k": self.top_k,
+            "max_entries": self.max_entries,
             "entries": entries,
         }
 
@@ -216,6 +217,9 @@ class PolicyTable(PolicyCache):
             top_k=int(payload["top_k"]),
             fingerprint=fingerprint,
             learn=learn,
+            # Older artifacts (schema 1 before the cap was persisted) omit
+            # the key; they were all written with the construction default.
+            max_entries=int(payload.get("max_entries", 65_536)),
         )
         for entry in payload["entries"]:
             decision = Decision(

@@ -107,6 +107,14 @@ class ExpectedUtilityPlanner:
         immediately, listing the registered engines.
     """
 
+    #: Optional per-stage checkpoint callback ``probe(stage, payload)`` fired
+    #: by both rollout engines during a decision (stages ``summary``,
+    #: ``lanes``, ``rollout``, ``utility``, ``decision``).  Both engines emit
+    #: the same stages in the same lane order (action-major, ``a * k + j``),
+    #: which is what :mod:`repro.diagnostics` bisects to localize rollout
+    #: drift.  ``None`` (the default) keeps the decide path probe-free.
+    decision_probe = None
+
     def __init__(
         self,
         utility: UtilityFunction,
@@ -229,6 +237,25 @@ class ExpectedUtilityPlanner:
         return best
 
 
+def rollout_outcome_digest(outcome) -> dict:
+    """A canonical, comparable summary of one rollout lane's outcome.
+
+    Both rollout engines produce digests in the same lane order
+    (action-major), so :mod:`repro.diagnostics` can pinpoint the first
+    differing lane of the frontier.
+    """
+    return {
+        "own_deliveries": [tuple(entry) for entry in outcome.own_deliveries],
+        "own_drops": [tuple(entry) for entry in outcome.own_drops],
+        "cross_deliveries": [tuple(entry) for entry in outcome.cross_deliveries],
+        "cross_drops": [tuple(entry) for entry in outcome.cross_drops],
+        "hypothetical_delivered": outcome.hypothetical_delivered,
+        "hypothetical_delivery_time": outcome.hypothetical_delivery_time,
+        "final_queue_bits": outcome.final_queue_bits,
+        "final_cross_backlog_bits": outcome.final_cross_backlog_bits,
+    }
+
+
 @ROLLOUT_BACKENDS.register("scalar")
 def decide_scalar(
     planner: ExpectedUtilityPlanner, belief: BeliefState, now: float
@@ -239,6 +266,27 @@ def decide_scalar(
     actions = planner.action_grid.actions(summary.service_time)
     horizon = planner._horizon_from(summary)
     total_weight = summary.total_weight
+
+    probe = planner.decision_probe
+    lane_digests: list[dict] = []
+    lane_values: list[float] = []
+    if probe is not None:
+        probe(
+            "summary",
+            {
+                "service_time": summary.service_time,
+                "horizon": horizon,
+                "weights": list(summary.weights),
+                "actions": [action.delay for action in actions],
+            },
+        )
+        # The scalar engine has no lane buffers of its own; packing the top
+        # hypotheses through the shared packer yields the same canonical
+        # snapshot the vectorized engine checkpoints.  Imported lazily: the
+        # vectorized module imports this one for its registry types.
+        from repro.inference.vectorized.rollout import pack_hypotheses
+
+        probe("lanes", pack_hypotheses([h for h, _ in top]).checkpoint())
 
     expected: dict[float, float] = {}
     for action in actions:
@@ -251,10 +299,21 @@ def decide_scalar(
                 now=now,
             )
             planner.rollouts_performed += 1
-            accumulated += (weight / total_weight) * planner.utility.evaluate(outcome)
+            value = planner.utility.evaluate(outcome)
+            if probe is not None:
+                lane_digests.append(rollout_outcome_digest(outcome))
+                lane_values.append(value)
+            accumulated += (weight / total_weight) * value
         expected[action.delay] = accumulated
 
     best_action = planner._argmax_prefer_longer_delay(actions, expected)
+    if probe is not None:
+        probe("rollout", {"lanes": lane_digests})
+        probe("utility", {"values": lane_values})
+        probe(
+            "decision",
+            {"expected": dict(expected), "delay": best_action.delay, "horizon": horizon},
+        )
     return Decision(
         action=best_action,
         expected_utilities=expected,

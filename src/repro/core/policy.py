@@ -70,8 +70,13 @@ class PolicyCache:
         return self.planner.decide(belief, now)
 
     def _store(self, key: Hashable, decision: Decision) -> None:
-        """Insert one entry, evicting the oldest at the size cap."""
-        if len(self._cache) >= self.max_entries:
+        """Insert one entry, evicting the oldest at the size cap.
+
+        Eviction happens only when ``key`` is genuinely new: an
+        update-in-place of an existing entry must never push an unrelated
+        cached decision out of the store.
+        """
+        if key not in self._cache and len(self._cache) >= self.max_entries:
             self._cache.pop(next(iter(self._cache)))
         self._cache[key] = decision
 

@@ -1,0 +1,170 @@
+"""Command-line entry point: ``python -m repro.diagnostics``.
+
+Three subcommands::
+
+    # Where do two backend configurations first disagree, and why?
+    python -m repro.diagnostics divergence --seed 3
+    python -m repro.diagnostics divergence --perturb score   # self-test
+
+    # Rank candidate causes against bench records, the cache, and fuzz.
+    python -m repro.diagnostics triage BENCH_*.json \
+        --baseline-dir benchmarks/baselines --fuzz 5
+
+    # Which committed benchmark trajectory regressed, and by how much?
+    python -m repro.diagnostics bench-history BENCH_*.json \
+        --baseline-dir benchmarks/baselines
+
+Exit status: ``divergence`` returns 1 when the replays diverge,
+``bench-history`` returns 1 when any record is flagged, ``triage`` always
+returns 0 (it ranks causes; it is not itself a gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.benchmarking import BenchRecord
+from repro.diagnostics.divergence import (
+    INJECTABLE_STAGES,
+    backend_config,
+    diagnose_divergence,
+    inject_stage_perturbation,
+)
+from repro.diagnostics.history import analyze_history
+from repro.diagnostics.triage import triage
+
+
+def _load_records(paths: Sequence[str]) -> dict[str, BenchRecord]:
+    return {Path(path).name: BenchRecord.load(path) for path in paths}
+
+
+def _load_baselines(
+    names: Sequence[str],
+    baseline: Optional[str],
+    baseline_dir: Optional[str],
+    parser: argparse.ArgumentParser,
+) -> dict[str, BenchRecord]:
+    if baseline is not None and baseline_dir is not None:
+        parser.error("--baseline and --baseline-dir are mutually exclusive")
+    if baseline is not None:
+        if len(names) != 1:
+            parser.error("--baseline compares exactly one record; use --baseline-dir")
+        return {names[0]: BenchRecord.load(baseline)}
+    baselines: dict[str, BenchRecord] = {}
+    if baseline_dir is not None:
+        for name in names:
+            candidate = Path(baseline_dir) / name
+            if candidate.exists():
+                baselines[name] = BenchRecord.load(candidate)
+            else:
+                print(f"note: no baseline for {name} under {baseline_dir}; gates only")
+    return baselines
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.diagnostics",
+        description="equivalence and regression triage for the repro sender",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    divergence = sub.add_parser(
+        "divergence",
+        help="bisect two backend replays to the first diverging kernel stage",
+    )
+    divergence.add_argument("--seed", type=int, default=0)
+    divergence.add_argument("--belief-a", default="scalar")
+    divergence.add_argument("--rollout-a", default="scalar")
+    divergence.add_argument("--belief-b", default="vectorized")
+    divergence.add_argument("--rollout-b", default="vectorized")
+    divergence.add_argument("--max-hypotheses", type=int, default=48)
+    divergence.add_argument("--top-k", type=int, default=8)
+    divergence.add_argument("--tolerance", type=float, default=1e-9)
+    divergence.add_argument(
+        "--perturb",
+        choices=INJECTABLE_STAGES,
+        help="deliberately skew one vectorized stage (fingerprinter self-test)",
+    )
+    divergence.add_argument("--epsilon", type=float, default=1.0)
+
+    triage_parser = sub.add_parser(
+        "triage", help="rank candidate root causes against available evidence"
+    )
+    triage_parser.add_argument("records", nargs="*", help="BENCH_*.json files")
+    triage_parser.add_argument("--baseline-dir")
+    triage_parser.add_argument("--max-regression", type=float, default=0.25)
+    triage_parser.add_argument("--cache-dir", help="ResultCache root to scan")
+    triage_parser.add_argument(
+        "--fuzz", type=int, default=0, metavar="N",
+        help="differential scalar-vs-vectorized replays over seeds 0..N-1",
+    )
+    triage_parser.add_argument(
+        "--collision-seeds", type=int, default=0, metavar="N",
+        help="seeded replays scanned for decision-signature collisions",
+    )
+
+    history = sub.add_parser(
+        "bench-history", help="check benchmark trajectories against baselines"
+    )
+    history.add_argument("records", nargs="+", help="BENCH_*.json files")
+    history.add_argument("--baseline", help="single baseline record")
+    history.add_argument("--baseline-dir", help="directory of baselines, matched by name")
+    history.add_argument("--max-regression", type=float, default=0.25)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "divergence":
+        config_a = backend_config(
+            args.belief_a, args.rollout_a, args.max_hypotheses, args.top_k
+        )
+        config_b = backend_config(
+            args.belief_b, args.rollout_b, args.max_hypotheses, args.top_k
+        )
+        if args.perturb:
+            with inject_stage_perturbation(args.perturb, args.epsilon):
+                report = diagnose_divergence(
+                    config_a, config_b, seed=args.seed, tolerance=args.tolerance
+                )
+        else:
+            report = diagnose_divergence(
+                config_a, config_b, seed=args.seed, tolerance=args.tolerance
+            )
+        print(report.render())
+        return 1 if report.diverged else 0
+
+    if args.command == "triage":
+        records = _load_records(args.records)
+        baselines = _load_baselines(
+            list(records), None, args.baseline_dir, parser
+        )
+        report = triage(
+            records=records,
+            baselines=baselines,
+            max_regression=args.max_regression,
+            cache_dir=args.cache_dir,
+            fuzz_seeds=range(args.fuzz),
+            collision_seeds=range(args.collision_seeds),
+        )
+        print(report.render())
+        return 0
+
+    assert args.command == "bench-history"
+    records = _load_records(args.records)
+    baselines = _load_baselines(list(records), args.baseline, args.baseline_dir, parser)
+    report = analyze_history(
+        records, baselines, max_regression=args.max_regression
+    )
+    print(report.render())
+    return 1 if report.flagged else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

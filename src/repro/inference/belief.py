@@ -98,6 +98,14 @@ class BeliefState:
     #: Name of the storage/execution backend this class implements.
     backend = "scalar"
 
+    #: Optional per-stage checkpoint callback ``hook(stage, payload)`` fired
+    #: during :meth:`update` at each kernel stage (``fork``, ``advance``,
+    #: ``score``, ``compact``, ``prune``, ``posterior``).  Both backends emit
+    #: the same stages with comparable payloads, which is what
+    #: :mod:`repro.diagnostics` bisects to localize backend drift.  ``None``
+    #: (the default) keeps the update loop checkpoint-free.
+    stage_hook = None
+
     # ------------------------------------------------------------ constructors
 
     @classmethod
@@ -268,13 +276,27 @@ class BeliefState:
         fallback: list[Hypothesis] = []
         fallback_weights: list[float] = []
 
-        for hypothesis, weight in zip(self._hypotheses, self._weights):
+        hook = self.stage_hook
+        parents: list[int] = []
+        probabilities: list[float] = []
+        branch_signatures: list[tuple] = []
+        log_likelihoods: list[float] = []
+
+        for parent_index, (hypothesis, weight) in enumerate(
+            zip(self._hypotheses, self._weights)
+        ):
             for branch, branch_probability in hypothesis.evolve(now):
                 if branch_probability <= 0.0:
                     continue
                 prior_weight = weight * branch_probability
                 fallback.append(branch)
                 fallback_weights.append(prior_weight)
+                if hook is not None:
+                    # Signatures must be captured before scoring: score()
+                    # charges losses into the signature's lost-seq set.
+                    parents.append(parent_index)
+                    probabilities.append(branch_probability)
+                    branch_signatures.append(branch.signature())
                 log_likelihood = branch.score(
                     acks,
                     now,
@@ -282,10 +304,17 @@ class BeliefState:
                     self.acked_seqs,
                     missing_grace=self.missing_grace,
                 )
+                if hook is not None:
+                    log_likelihoods.append(log_likelihood)
                 if log_likelihood == float("-inf"):
                     continue
                 candidates.append(branch)
                 candidate_weights.append(prior_weight * math.exp(log_likelihood))
+
+        if hook is not None:
+            hook("fork", {"parents": parents, "probabilities": probabilities})
+            hook("advance", {"time": now, "signatures": branch_signatures})
+            hook("score", {"log_likelihoods": log_likelihoods})
 
         self.updates_applied += 1
         if not candidates or sum(candidate_weights) <= 0.0:
@@ -298,9 +327,21 @@ class BeliefState:
             candidates, candidate_weights = fallback, fallback_weights
 
         candidates, candidate_weights = self._compact(candidates, candidate_weights)
+        if hook is not None:
+            hook("compact", {"count": len(candidates), "weights": list(candidate_weights)})
         candidates, candidate_weights = self._prune(candidates, candidate_weights)
+        if hook is not None:
+            hook("prune", {"count": len(candidates), "weights": list(candidate_weights)})
         self._hypotheses = candidates
         self._weights = self._normalize(candidate_weights)
+        if hook is not None:
+            hook(
+                "posterior",
+                {
+                    "weights": list(self._weights),
+                    "signatures": [h.signature() for h in self._hypotheses],
+                },
+            )
         if self.cross_tally_window is not None:
             # Bound per-model cross-tally history so long runs stay flat in
             # memory (clones copy these lists on every gate fork).

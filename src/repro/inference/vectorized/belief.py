@@ -160,7 +160,24 @@ class VectorizedBeliefState(BeliefState):
         acks = list(acks)
         self.acked_seqs.update(ack.seq for ack in acks)
 
+        hook = self.stage_hook
         branch_state, parent, probability = engine.fork_and_advance(self._state, now)
+        if hook is not None:
+            # Same checkpoints as the scalar update, captured at the same
+            # semantic points: branch order is the interleaved stay/switch
+            # order both backends produce, and signatures are taken before
+            # scoring charges losses into the lost-seq set.
+            hook("fork", {"parents": parent.tolist(), "probabilities": probability.tolist()})
+            hook(
+                "advance",
+                {
+                    "time": now,
+                    "signatures": [
+                        branch_state.materialize(row).signature()
+                        for row in range(branch_state.size)
+                    ],
+                },
+            )
         prior_weight = self._weight_array[parent] * probability
         log_likelihood = score_and_bookkeep(
             branch_state,
@@ -170,6 +187,8 @@ class VectorizedBeliefState(BeliefState):
             self.acked_seqs,
             missing_grace=self.missing_grace,
         )
+        if hook is not None:
+            hook("score", {"log_likelihoods": log_likelihood.tolist()})
         # exp over a Python loop: ll <= 0 always, and math.exp matches the
         # scalar path's per-hypothesis call exactly.
         likelihood = np.array([math.exp(value) for value in log_likelihood.tolist()])
@@ -193,7 +212,17 @@ class VectorizedBeliefState(BeliefState):
             kept_weights = candidate_weight[candidate_index]
 
         kept_index, kept_weights = self._compact_rows(branch_state, kept_index, kept_weights)
+        if hook is not None:
+            hook(
+                "compact",
+                {"count": int(kept_index.size), "weights": np.asarray(kept_weights).tolist()},
+            )
         kept_index, kept_weights = self._prune_rows(kept_index, kept_weights)
+        if hook is not None:
+            hook(
+                "prune",
+                {"count": int(kept_index.size), "weights": np.asarray(kept_weights).tolist()},
+            )
         self._state = branch_state.select(kept_index)
         # Built-in sum over the list keeps the normalizer's float accumulation
         # identical to the scalar path's ordered summation.
@@ -201,6 +230,17 @@ class VectorizedBeliefState(BeliefState):
         if total <= 0.0:
             raise InferenceError("cannot normalize an all-zero weight vector")
         self._weight_array = kept_weights / total
+        if hook is not None:
+            hook(
+                "posterior",
+                {
+                    "weights": self._weight_array.tolist(),
+                    "signatures": [
+                        self._state.materialize(row).signature()
+                        for row in range(self._state.size)
+                    ],
+                },
+            )
 
     # ----------------------------------------------------------------- helpers
 

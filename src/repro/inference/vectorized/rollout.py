@@ -99,6 +99,38 @@ class RolloutLanes:
         """Number of hypothesis rows."""
         return int(self.link_rate.size)
 
+    def checkpoint(self) -> dict:
+        """A canonical, comparable snapshot of every lane's latent state.
+
+        Both rollout engines pack lanes (scalar hypotheses route through
+        :func:`pack_hypotheses`), so :mod:`repro.diagnostics` compares these
+        snapshots to tell lane-packing drift from frontier drift.
+        """
+        rows = []
+        for row in range(self.count):
+            length = int(self.q_len[row])
+            rows.append(
+                {
+                    "gate_on": bool(self.gate_on[row]),
+                    "next_cross_time": float(self.next_cross_time[row]),
+                    "in_service": (
+                        (
+                            int(self.svc_flow[row]),
+                            float(self.svc_size[row]),
+                            float(self.svc_completion[row]),
+                        )
+                        if bool(self.svc_active[row])
+                        else None
+                    ),
+                    "queue": [
+                        (int(self.q_flow[row, slot]), float(self.q_size[row, slot]))
+                        for slot in range(length)
+                    ],
+                    "queue_bits": float(self.queue_bits[row]),
+                }
+            )
+        return {"time": float(self.time), "lanes": rows}
+
 
 def pack_rows(state: EnsembleState, rows: Sequence[int] | np.ndarray) -> RolloutLanes:
     """Lane buffers for ``rows`` of a vectorized ensemble — pure array slicing.
@@ -608,6 +640,18 @@ def decide_vectorized(
 
     actions = planner.action_grid.actions(summary.service_time)
     horizon = planner._horizon_from(summary)
+    probe = planner.decision_probe
+    if probe is not None:
+        probe(
+            "summary",
+            {
+                "service_time": summary.service_time,
+                "horizon": horizon,
+                "weights": list(summary.weights),
+                "actions": [action.delay for action in actions],
+            },
+        )
+        probe("lanes", lanes.checkpoint())
     outcome = batched_rollout(
         lanes,
         [action.delay for action in actions],
@@ -616,6 +660,18 @@ def decide_vectorized(
         now,
     )
     planner.rollouts_performed += outcome.lanes
+    if probe is not None:
+        from repro.core.planner import rollout_outcome_digest
+
+        probe(
+            "rollout",
+            {
+                "lanes": [
+                    rollout_outcome_digest(outcome.lane_outcome(lane))
+                    for lane in range(outcome.lanes)
+                ]
+            },
+        )
 
     evaluate_batch = getattr(planner.utility, "evaluate_batch", None)
     if evaluate_batch is not None:
@@ -627,6 +683,8 @@ def decide_vectorized(
             planner.utility.evaluate(outcome.lane_outcome(lane))
             for lane in range(outcome.lanes)
         ]
+    if probe is not None:
+        probe("utility", {"values": [float(value) for value in values]})
 
     count = summary.count
     total_weight = summary.total_weight
@@ -640,6 +698,11 @@ def decide_vectorized(
         expected[action.delay] = accumulated
 
     best_action = planner._argmax_prefer_longer_delay(actions, expected)
+    if probe is not None:
+        probe(
+            "decision",
+            {"expected": dict(expected), "delay": best_action.delay, "horizon": horizon},
+        )
     return Decision(
         action=best_action,
         expected_utilities=expected,

@@ -419,6 +419,20 @@ class EnsembleState:
         packed = np.concatenate(flat, axis=1)
         return [row.tobytes() for row in packed]
 
+    def checkpoint(self) -> dict:
+        """A canonical, comparable snapshot of the whole ensemble.
+
+        Used by :mod:`repro.diagnostics` to fingerprint where two backend
+        replays diverge; the signatures reuse the scalar
+        ``Hypothesis.signature`` grouping, so snapshots are directly
+        comparable with the scalar backend's hypotheses.
+        """
+        return {
+            "time": float(self.time),
+            "size": int(self.size),
+            "signatures": [self.materialize(row).signature() for row in range(self.size)],
+        }
+
     # ----------------------------------------------------------- materialization
 
     def materialize(self, row: int) -> Hypothesis:

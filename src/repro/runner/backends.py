@@ -327,8 +327,18 @@ class AsyncRunner(_PoolSizingMixin, RunnerBase):
                     return await loop.run_in_executor(pool, worker, task)
 
             # gather preserves argument order, which keeps artifacts
-            # canonical regardless of completion order.
-            return list(await asyncio.gather(*(submit(task) for task in tasks)))
+            # canonical regardless of completion order.  On the first
+            # failure, every sibling is cancelled before the pool shuts
+            # down — not-yet-running submissions never execute — and the
+            # original error propagates, not a CancelledError.
+            pending = [asyncio.ensure_future(submit(task)) for task in tasks]
+            try:
+                return list(await asyncio.gather(*pending))
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+                raise
 
     def _map(self, worker: Callable[[Any], Any], tasks: list[Any]) -> list[Any]:
         if not tasks:

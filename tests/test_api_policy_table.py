@@ -134,6 +134,24 @@ class TestPolicyTableSerialization:
             assert restored.hypotheses_evaluated == decision.hypotheses_evaluated
             assert restored.expected_utilities == decision.expected_utilities
 
+    def test_round_trip_preserves_max_entries(self, tmp_path):
+        """Regression test: the eviction cap must survive serialization.
+
+        ``to_payload`` used to drop ``max_entries``, so a table precomputed
+        with a small cap reloaded at the 65,536 default and grew unbounded
+        under runtime learning.
+        """
+        table = PolicyTable(make_planner(), max_entries=7)
+        path = table.to_json(tmp_path / "policy.json")
+        loaded = PolicyTable.from_json(path)
+        assert loaded.max_entries == 7
+        # Artifacts written before the cap was persisted omit the key and
+        # were all produced with the construction default.
+        payload = table.to_payload()
+        del payload["max_entries"]
+        legacy = PolicyTable.from_payload(payload)
+        assert legacy.max_entries == 65_536
+
     def test_fingerprint_mismatch_rejected(self, tmp_path):
         _, table = self.build_table()
         path = table.to_json(tmp_path / "policy.json")

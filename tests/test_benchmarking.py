@@ -138,6 +138,49 @@ class TestCompareCli:
         result = self.run_compare(str(tmp_path / "nope.json"))
         assert result.returncode == 2
 
+    def test_baseline_dir_matches_records_by_filename(self, tmp_path):
+        """One invocation gates many records, each against its own baseline."""
+        base_dir, run_dir = tmp_path / "baselines", tmp_path / "run"
+        base_dir.mkdir()
+        run_dir.mkdir()
+        make_record(base_dir, wall_time=1.0)
+        _, fast_path = make_record(run_dir, wall_time=1.05)
+        result = self.run_compare(str(fast_path), "--baseline-dir", str(base_dir))
+        assert result.returncode == 0, result.stdout + result.stderr
+        # Now regress the same record: the per-file baseline must catch it.
+        _, slow_path = make_record(run_dir, wall_time=2.0)
+        result = self.run_compare(
+            str(slow_path), "--baseline-dir", str(base_dir), "--max-regression", "0.25"
+        )
+        assert result.returncode == 1
+        assert "regression" in result.stdout
+
+    def test_baseline_dir_without_matching_file_gates_only(self, tmp_path):
+        base_dir = tmp_path / "baselines"
+        base_dir.mkdir()
+        _, path = make_record(tmp_path)
+        result = self.run_compare(str(path), "--baseline-dir", str(base_dir))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "no baseline" in result.stdout
+
+    def test_single_baseline_with_many_records_is_usage_error(self, tmp_path):
+        """``--baseline`` is ambiguous across records; demand --baseline-dir."""
+        a_dir, b_dir = tmp_path / "a", tmp_path / "b"
+        a_dir.mkdir()
+        b_dir.mkdir()
+        _, first = make_record(a_dir)
+        _, second = make_record(b_dir)
+        _, base = make_record(tmp_path)
+        result = self.run_compare(str(first), str(second), "--baseline", str(base))
+        assert result.returncode == 2
+
+    def test_baseline_and_baseline_dir_are_mutually_exclusive(self, tmp_path):
+        _, path = make_record(tmp_path)
+        result = self.run_compare(
+            str(path), "--baseline", str(path), "--baseline-dir", str(tmp_path)
+        )
+        assert result.returncode == 2
+
     @pytest.mark.skipif(
         not (REPO_ROOT / "BENCH_inference.json").exists(),
         reason="BENCH_inference.json not generated yet (run pytest -m bench)",

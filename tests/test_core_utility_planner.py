@@ -276,6 +276,32 @@ class TestPolicyCache:
         cache.decide(beliefs[2], now=0.0)
         assert cache.hits == 1
 
+    @pytest.mark.parametrize("cap", [1, 2])
+    def test_store_update_in_place_never_evicts_at_capacity(self, cap):
+        """Re-storing an existing key at the size cap must not evict.
+
+        Regression test: ``_store`` used to evict whenever the cache was
+        full, so updating an entry in place at ``max_entries`` pushed an
+        unrelated cached decision out (and at ``max_entries=1`` evicted
+        the very entry being updated before re-inserting it).
+        """
+        planner = ExpectedUtilityPlanner(ThroughputUtility(), top_k=2)
+        cache = PolicyCache(planner, max_entries=cap)
+        sentinels = {("key", index): object() for index in range(cap)}
+        for key, decision in sentinels.items():
+            cache._store(key, decision)
+        assert cache.size == cap
+        # Update the newest key in place: nothing may be evicted.
+        replacement = object()
+        cache._store(("key", cap - 1), replacement)
+        assert cache.size == cap
+        assert set(cache._cache) == set(sentinels)
+        assert cache._cache[("key", cap - 1)] is replacement
+        # A genuinely new key at capacity still evicts the oldest.
+        cache._store(("key", cap), object())
+        assert cache.size == cap
+        assert ("key", 0) not in cache._cache
+
     def test_cache_key_is_backend_invariant(self):
         """Scalar and vectorized beliefs produce the same cache key."""
         from repro.inference import figure3_prior

@@ -44,6 +44,34 @@ TOLERANCE = 1e-9
 
 PACKET_BITS = 12_000.0
 
+#: One-shot guard: the first equivalence failure prints a stage-bisection
+#: triage report; later failures in the same session stay quiet.
+_TRIAGE_PRINTED = False
+
+
+def _triage_on_failure(seed: int) -> None:
+    """Print a diagnostics report naming the first diverging kernel stage.
+
+    Runs at most once per session, on the first equivalence failure, so a
+    red differential run localizes itself without a manual repro: the
+    report bisects the same seeded script to the stage (fork / advance /
+    score / compact / prune, or a rollout-frontier stage) where the
+    backends first disagree and ranks the candidate causes.
+    """
+    global _TRIAGE_PRINTED
+    if _TRIAGE_PRINTED:
+        return
+    _TRIAGE_PRINTED = True
+    from repro.diagnostics import backend_config, diagnose_divergence
+
+    report = diagnose_divergence(
+        backend_config("scalar", "scalar"),
+        backend_config("vectorized", "vectorized"),
+        seed=seed,
+    )
+    print(f"\n[repro.diagnostics] differential failure at seed {seed}:")
+    print(report.render())
+
 
 def _prior():
     """A small but fully featured prior: forking, loss, buffer uncertainty."""
@@ -171,7 +199,11 @@ class TestDifferentialBeliefBackends:
         compaction_seen = 0
         for seed in range(SEQUENCE_COUNT):
             scalar, vectorized, _ = replay_pair(seed)
-            assert_posteriors_equivalent(scalar, vectorized, seed)
+            try:
+                assert_posteriors_equivalent(scalar, vectorized, seed)
+            except AssertionError:
+                _triage_on_failure(seed)
+                raise
             degenerate_seen += scalar.degenerate_updates
             compaction_seen += scalar.compacted_away
         # The generator must actually exercise the hard paths, not skirt them.
@@ -182,7 +214,11 @@ class TestDifferentialBeliefBackends:
         for seed in range(0, SEQUENCE_COUNT, 5):
             scalar, vectorized, _ = replay_pair(seed, max_hypotheses=5)
             assert len(scalar) <= 5
-            assert_posteriors_equivalent(scalar, vectorized, seed)
+            try:
+                assert_posteriors_equivalent(scalar, vectorized, seed)
+            except AssertionError:
+                _triage_on_failure(seed)
+                raise
 
 
 class TestDifferentialRolloutBackends:
@@ -198,9 +234,13 @@ class TestDifferentialRolloutBackends:
             scalar, vectorized, events = replay_pair(seed)
             now = events[-1][1][0]
             reference = _planner("scalar").decide(scalar, now)
-            assert_decisions_equivalent(
-                reference, _planner("vectorized").decide(vectorized, now), seed
-            )
-            assert_decisions_equivalent(
-                reference, _planner("vectorized").decide(scalar, now), seed
-            )
+            try:
+                assert_decisions_equivalent(
+                    reference, _planner("vectorized").decide(vectorized, now), seed
+                )
+                assert_decisions_equivalent(
+                    reference, _planner("vectorized").decide(scalar, now), seed
+                )
+            except AssertionError:
+                _triage_on_failure(seed)
+                raise

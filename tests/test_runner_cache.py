@@ -16,6 +16,8 @@ import multiprocessing
 import os
 from pathlib import Path
 
+import pytest
+
 from repro.api.config import SenderConfig
 from repro.api.policy import (
     load_or_precompute_policy_table,
@@ -58,6 +60,14 @@ def _registry_with_toy() -> ScenarioRegistry:
 def _run_grid_with_cache(cache_dir: str):
     """Top-level so the racing-workers test can pickle it into a pool."""
     return run_specs(SPECS, cache_dir=cache_dir).to_json()
+
+
+def _poisoned_scenario(seed: int = 0, idx: int = 0, out_dir: str = "") -> dict[str, float]:
+    """Top-level so the async runner's pool can pickle it; point 0 fails."""
+    if idx == 0:
+        raise ValueError("poisoned point")
+    Path(out_dir, f"ran_{idx}").write_text("x")
+    return {"idx": float(idx)}
 
 
 class TestPointKeys:
@@ -248,6 +258,25 @@ class TestAsyncRunnerCache:
         serial = SerialRunner().run(SPECS)
         from_async = AsyncRunner(workers=2).run(SPECS)
         assert from_async.to_json() == serial.to_json()
+
+    def test_poisoned_point_propagates_and_cancels_queued_siblings(self, tmp_path):
+        """Regression test for the async runner's failure path.
+
+        The first failing point must surface its own exception (not a
+        ``CancelledError``) and cancel the submissions queued behind the
+        ``max_in_flight`` gate before they ever reach the worker pool.  The
+        sibling points write sentinel files when they execute; at most the
+        one waiter already woken when the failure lands may slip through.
+        """
+        registry = ScenarioRegistry()
+        registry.register("poisoned")(_poisoned_scenario)
+        specs = grid(
+            "poisoned", base={"out_dir": str(tmp_path)}, idx=tuple(range(8))
+        )
+        runner = AsyncRunner(workers=2, max_in_flight=1, registry=registry)
+        with pytest.raises(ValueError, match="poisoned point"):
+            runner.run(specs)
+        assert len(list(tmp_path.glob("ran_*"))) <= 1
 
 
 class TestPolicyTableCache:
