@@ -52,3 +52,21 @@ class UnknownBackendError(ConfigurationError, InferenceError):
 
 class UtilityError(ReproError):
     """A utility function received invalid parameters or inputs."""
+
+
+class PointFailureError(ReproError):
+    """A supervised sweep point exhausted its retries under ``strict`` mode.
+
+    Raised by the runner's supervised execution path when a grid point
+    keeps failing past ``Supervision.max_retries`` and the sweep was asked
+    to fail fast rather than quarantine the point and degrade to partial
+    results.  Carries the failing spec and the final failure description.
+    """
+
+    def __init__(self, spec: object, attempts: int, reason: str) -> None:
+        super().__init__(
+            f"point {getattr(spec, 'label', spec)!s} failed {attempts} attempt(s): {reason}"
+        )
+        self.spec = spec
+        self.attempts = attempts
+        self.reason = reason

@@ -15,6 +15,12 @@ seed fans, loss × delay × buffer grids) into explicit, schedulable work:
   fingerprint-keyed reuse of executed grid points;
 * :mod:`repro.runner.results` — :class:`ResultStore`, the canonical
   JSON/CSV artifact runs are compared by;
+* :mod:`repro.runner.supervise` — :class:`Supervision`, per-point
+  timeouts, retries with deterministic backoff, and quarantine;
+* :mod:`repro.runner.journal` — :class:`SweepJournal`, the durable
+  per-grid record that makes killed sweeps resumable (``--resume``);
+* :mod:`repro.runner.faults` — :class:`FaultPlan`, the seeded
+  fault-injection harness the robustness tests drive chaos with;
 * ``python -m repro.runner`` — the CLI entry point.
 
 Built-in scenarios live in :mod:`repro.runner.scenarios` and are loaded on
@@ -32,16 +38,23 @@ from repro.runner.backends import (
     run_specs,
 )
 from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from repro.runner.faults import FaultPlan, InjectedFaultError, PointFault
+from repro.runner.journal import SweepJournal, journal_path, replay_journal
 from repro.runner.registry import DEFAULT_REGISTRY, ScenarioEntry, ScenarioRegistry, scenario
-from repro.runner.results import PointResult, ResultStore
-from repro.runner.spec import ScenarioSpec, grid
+from repro.runner.results import PointResult, QuarantinedPoint, ResultStore
+from repro.runner.spec import ScenarioSpec, grid, grid_digest
+from repro.runner.supervise import Supervision
 
 __all__ = [
     "AsyncRunner",
     "CACHE_DIR_ENV",
     "DEFAULT_REGISTRY",
+    "FaultPlan",
+    "InjectedFaultError",
     "ParallelRunner",
+    "PointFault",
     "PointResult",
+    "QuarantinedPoint",
     "RUNNER_BACKENDS",
     "ResultCache",
     "ResultStore",
@@ -51,8 +64,12 @@ __all__ = [
     "ScenarioRegistry",
     "ScenarioSpec",
     "SerialRunner",
+    "Supervision",
+    "SweepJournal",
     "default_cache_dir",
     "grid",
+    "grid_digest",
+    "journal_path",
     "make_runner",
     "run_specs",
     "scenario",

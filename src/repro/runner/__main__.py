@@ -2,4 +2,9 @@
 
 from repro.runner.cli import main
 
-raise SystemExit(main())
+try:
+    raise SystemExit(main())
+except KeyboardInterrupt:
+    # A Ctrl-C that lands outside main()'s own handler (argument parsing,
+    # interpreter teardown) still exits with the conventional 130.
+    raise SystemExit(130)

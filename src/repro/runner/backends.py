@@ -31,18 +31,28 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import functools
 import multiprocessing
 import os
 import time
+from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro._persist import cache_dir_override
 from repro.api.backends import BackendRegistry
 from repro.errors import ConfigurationError
 from repro.runner.cache import ResultCache
+from repro.runner.faults import NO_FAULTS, corrupt_entry
+from repro.runner.journal import SweepJournal, journal_path, replay_journal
 from repro.runner.registry import DEFAULT_REGISTRY, ScenarioRegistry
-from repro.runner.results import PointResult, ResultStore
-from repro.runner.spec import ScenarioSpec
+from repro.runner.results import PointResult, QuarantinedPoint, ResultStore
+from repro.runner.spec import ScenarioSpec, grid_digest
+from repro.runner.supervise import (
+    Supervision,
+    SupervisedJob,
+    SweepObserver,
+    run_supervised,
+)
 from repro.sim.element import fresh_instance_counters
 
 
@@ -73,6 +83,56 @@ def _execute_call(task: tuple[Callable[..., Any], Mapping[str, Any]]) -> Any:
         return fn(**kwargs)
 
 
+class _RunObserver(SweepObserver):
+    """Wires supervised-execution transitions into the journal and cache.
+
+    Called in the supervisor (parent) as each point changes state, so both
+    durability mechanisms — the append-only journal and the fingerprint-
+    keyed cache — record a point the moment it completes, not when the
+    whole sweep does.  ``corrupt`` carries the fault plan's cache-entry
+    targets: those entries are truncated right after being stored.
+    """
+
+    def __init__(
+        self,
+        journal: Optional[SweepJournal],
+        cache: Optional[ResultCache],
+        keys: dict[int, str],
+        registry: ScenarioRegistry | None,
+        corrupt: frozenset[int],
+    ) -> None:
+        self.journal = journal
+        self.cache = cache
+        self.keys = keys
+        self.registry = registry
+        self.corrupt = corrupt
+
+    def on_running(self, index: int, attempt: int) -> None:
+        if self.journal is not None:
+            self.journal.running(index, attempt)
+
+    def on_done(self, index: int, result: PointResult) -> None:
+        if self.journal is not None:
+            self.journal.done(index, result.metrics, result.wall_time)
+        if self.cache is not None:
+            key = self.keys.get(index)
+            if key is None:
+                key = self.cache.point_key(result.spec, registry=self.registry)
+            path = self.cache.store_point(key, result)
+            if index in self.corrupt:
+                corrupt_entry(path)
+
+    def on_failed(self, index: int, attempt: int, error: str) -> None:
+        if self.journal is not None:
+            self.journal.failed(index, attempt, error)
+
+    def on_quarantined(self, index: int, point: QuarantinedPoint) -> None:
+        if self.journal is not None:
+            self.journal.quarantined(
+                index, point.error, point.traceback, point.attempts
+            )
+
+
 class RunnerBase:
     """Shared run/map plumbing; subclasses supply ``_map`` (the fan-out).
 
@@ -87,6 +147,21 @@ class RunnerBase:
         consults it per point before executing, stores every freshly
         executed point, and stamps the returned store's
         ``cache_hits`` / ``cache_misses``.
+    supervision:
+        Optional :class:`~repro.runner.supervise.Supervision` policy.
+        When present, ``run`` switches from the raw fan-out to the
+        supervised path: per-point retries with seeded backoff, heartbeat
+        timeouts and worker-death recovery (process backends), quarantine
+        instead of sweep poisoning, fault injection, and — when a journal
+        location exists — a durable, resumable sweep journal.
+    resume:
+        Skip points a prior (killed) run of the *same grid* already
+        journalled as done, and re-enqueue everything that was in flight.
+        Implies supervision; requires a journal location.
+    journal_dir:
+        Where sweep journals live.  Defaults to the cache directory when a
+        cache is attached; an explicit value enables journalling without a
+        result cache.
     """
 
     backend_name = "base"
@@ -95,9 +170,27 @@ class RunnerBase:
         self,
         registry: ScenarioRegistry | None = None,
         cache: Optional[ResultCache] = None,
+        supervision: Optional[Supervision] = None,
+        resume: bool = False,
+        journal_dir: "str | os.PathLike[str] | None" = None,
     ) -> None:
         self._registry = registry
         self.cache = cache
+        self.resume = bool(resume)
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        if supervision is None and (self.resume or self.journal_dir is not None):
+            supervision = Supervision()
+        self.supervision = supervision
+        if self.resume and self._journal_root() is None:
+            raise ConfigurationError(
+                "resume=True needs a journal location: attach a cache "
+                "(cache=/cache_dir=) or pass journal_dir="
+            )
+
+    def _journal_root(self) -> Optional[Path]:
+        if self.journal_dir is not None:
+            return self.journal_dir
+        return self.cache.root if self.cache is not None else None
 
     # ----------------------------------------------------------------- fan-out
 
@@ -162,16 +255,142 @@ class RunnerBase:
         are stored back.  The assembled store preserves spec order either
         way, so a warm rerun's canonical artifact is byte-identical to the
         cold run that populated the cache.
+
+        With a :class:`~repro.runner.supervise.Supervision` policy (or
+        ``resume=True``) attached, execution goes through the supervised
+        path instead: journalled, retried, and quarantine-tolerant.
         """
+        if self.supervision is not None:
+            return self._run_supervised(specs)
         if self.cache is None:
             store = ResultStore()
             store.extend(self._map(_execute_point, [self._point_task(spec) for spec in specs]))
             return store
+        corrupt_before = self.cache.corrupt
         results, keys, pending = self._cache_partition(specs)
         executed = self._map(
             _execute_point, [self._point_task(spec) for _, spec in pending]
         )
-        return self._cache_assemble(specs, results, keys, pending, executed)
+        store = self._cache_assemble(specs, results, keys, pending, executed)
+        store.cache_corrupt = self.cache.corrupt - corrupt_before
+        return store
+
+    # ------------------------------------------------------- supervised path
+
+    def _supervised_context(self) -> Any:
+        """The multiprocessing context supervised workers run under.
+
+        ``None`` means inline execution (the serial backend): retries and
+        quarantine still apply, but hangs cannot be preempted and kill
+        faults take the sweep process down (the journal covers that).
+        """
+        return None
+
+    def _supervised_workers(self, task_count: int) -> int:
+        return 1
+
+    def _run_supervised(self, specs: Sequence[ScenarioSpec]) -> ResultStore:
+        """Durable, fault-tolerant execution of ``specs``.
+
+        Order of battle: replay the journal (``resume``), replay the
+        cache, then fan the remaining points out under supervision —
+        journalling and caching each point the moment it completes, so a
+        killed sweep resumes mid-grid and re-executes only what was in
+        flight.  The assembled store is in spec order with quarantined
+        points set aside, and is byte-identical to an uninterrupted run
+        when nothing was quarantined.
+        """
+        supervision = self.supervision
+        assert supervision is not None
+        specs = list(specs)
+        digest = grid_digest(specs)
+        journal_root = self._journal_root()
+
+        prior_done: dict[int, dict] = {}
+        journal: Optional[SweepJournal] = None
+        if journal_root is not None:
+            path = journal_path(journal_root, digest)
+            if self.resume:
+                prior_done = replay_journal(path).done
+            journal = SweepJournal(
+                path, grid=digest, points=len(specs), append=self.resume
+            )
+        try:
+            results: dict[int, PointResult] = {}
+            resumed = 0
+            for index, record in prior_done.items():
+                if 0 <= index < len(specs) and isinstance(record.get("metrics"), dict):
+                    results[index] = PointResult(
+                        spec=specs[index],
+                        metrics=dict(record["metrics"]),
+                        wall_time=float(record.get("wall_time", 0.0)),
+                    )
+                    resumed += 1
+
+            hits = 0
+            keys: dict[int, str] = {}
+            corrupt_before = self.cache.corrupt if self.cache is not None else 0
+            if self.cache is not None:
+                for index, spec in enumerate(specs):
+                    if index in results:
+                        continue
+                    key = self.cache.point_key(spec, registry=self._registry)
+                    keys[index] = key
+                    cached = self.cache.load_point(key, spec)
+                    if cached is not None:
+                        results[index] = cached
+                        hits += 1
+                        if journal is not None:
+                            journal.done(
+                                index, cached.metrics, cached.wall_time, source="cache"
+                            )
+
+            pending = [index for index in range(len(specs)) if index not in results]
+            assignment = (
+                supervision.fault_plan.assign(specs)
+                if supervision.fault_plan is not None
+                else NO_FAULTS
+            )
+            observer = _RunObserver(
+                journal=journal,
+                cache=self.cache,
+                keys=keys,
+                registry=self._registry,
+                corrupt=assignment.corrupt,
+            )
+            jobs = [
+                SupervisedJob(index, specs[index], self._point_task(specs[index]))
+                for index in pending
+            ]
+            outcome = run_supervised(
+                jobs,
+                _execute_point,
+                supervision=supervision,
+                assignment=assignment,
+                observer=observer,
+                workers=self._supervised_workers(len(jobs)),
+                mp_context=self._supervised_context(),
+            )
+            results.update(outcome.results)
+            if journal is not None:
+                journal.complete()
+
+            store = ResultStore()
+            store.extend(results[index] for index in sorted(results))
+            store.quarantined = [
+                outcome.quarantined[index] for index in sorted(outcome.quarantined)
+            ]
+            store.partial = bool(store.quarantined)
+            if self.cache is not None:
+                store.cache_hits = hits
+                store.cache_misses = len(pending)
+                store.cache_corrupt = self.cache.corrupt - corrupt_before
+            store.retries = outcome.retries
+            store.resumed = resumed
+            return store
+        finally:
+            if journal is not None:
+                journal.close()
 
 
 class SerialRunner(RunnerBase):
@@ -191,8 +410,17 @@ class SerialRunner(RunnerBase):
         cache: Optional[ResultCache] = None,
         *,
         workers: int | None = None,
+        supervision: Optional[Supervision] = None,
+        resume: bool = False,
+        journal_dir: "str | os.PathLike[str] | None" = None,
     ) -> None:
-        super().__init__(registry=registry, cache=cache)
+        super().__init__(
+            registry=registry,
+            cache=cache,
+            supervision=supervision,
+            resume=resume,
+            journal_dir=journal_dir,
+        )
 
     def _map(self, worker: Callable[[Any], Any], tasks: list[Any]) -> list[Any]:
         return [worker(task) for task in tasks]
@@ -237,15 +465,30 @@ class ParallelRunner(_PoolSizingMixin, RunnerBase):
         chunksize: int = 1,
         start_method: str | None = None,
         cache: Optional[ResultCache] = None,
+        supervision: Optional[Supervision] = None,
+        resume: bool = False,
+        journal_dir: "str | os.PathLike[str] | None" = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
         if chunksize < 1:
             raise ConfigurationError(f"chunksize must be >= 1, got {chunksize!r}")
-        super().__init__(registry=registry, cache=cache)
+        super().__init__(
+            registry=registry,
+            cache=cache,
+            supervision=supervision,
+            resume=resume,
+            journal_dir=journal_dir,
+        )
         self.workers = workers
         self.chunksize = chunksize
         self.start_method = start_method
+
+    def _supervised_context(self) -> Any:
+        return multiprocessing.get_context(self.start_method)
+
+    def _supervised_workers(self, task_count: int) -> int:
+        return self._pool_size(max(1, task_count))
 
     def _map(self, worker: Callable[[Any], Any], tasks: list[Any]) -> list[Any]:
         if not tasks:
@@ -296,6 +539,9 @@ class AsyncRunner(_PoolSizingMixin, RunnerBase):
         max_in_flight: int | None = None,
         start_method: str | None = None,
         cache: Optional[ResultCache] = None,
+        supervision: Optional[Supervision] = None,
+        resume: bool = False,
+        journal_dir: "str | os.PathLike[str] | None" = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
@@ -303,10 +549,22 @@ class AsyncRunner(_PoolSizingMixin, RunnerBase):
             raise ConfigurationError(
                 f"max_in_flight must be >= 1, got {max_in_flight!r}"
             )
-        super().__init__(registry=registry, cache=cache)
+        super().__init__(
+            registry=registry,
+            cache=cache,
+            supervision=supervision,
+            resume=resume,
+            journal_dir=journal_dir,
+        )
         self.workers = workers
         self.max_in_flight = max_in_flight
         self.start_method = start_method
+
+    def _supervised_context(self) -> Any:
+        return multiprocessing.get_context(self.start_method)
+
+    def _supervised_workers(self, task_count: int) -> int:
+        return self._pool_size(max(1, task_count))
 
     async def _gather(self, worker: Callable[[Any], Any], tasks: list[Any]) -> list[Any]:
         loop = asyncio.get_running_loop()
@@ -316,9 +574,11 @@ class AsyncRunner(_PoolSizingMixin, RunnerBase):
             if self.max_in_flight is not None
             else None
         )
-        with concurrent.futures.ProcessPoolExecutor(
+        pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=self._pool_size(len(tasks)), mp_context=context
-        ) as pool:
+        )
+        graceful = True
+        try:
 
             async def submit(task: Any) -> Any:
                 if semaphore is None:
@@ -334,11 +594,23 @@ class AsyncRunner(_PoolSizingMixin, RunnerBase):
             pending = [asyncio.ensure_future(submit(task)) for task in tasks]
             try:
                 return list(await asyncio.gather(*pending))
+            except (KeyboardInterrupt, asyncio.CancelledError):
+                # User-initiated cancellation: shut down promptly.  Queued
+                # submissions are dropped, and nobody waits on points that
+                # are already in flight — their workers die with the
+                # interpreter, and the interrupt propagates as itself.
+                graceful = False
+                for future in pending:
+                    future.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+                raise
             except BaseException:
                 for future in pending:
                     future.cancel()
                 await asyncio.gather(*pending, return_exceptions=True)
                 raise
+        finally:
+            pool.shutdown(wait=graceful, cancel_futures=not graceful)
 
     def _map(self, worker: Callable[[Any], Any], tasks: list[Any]) -> list[Any]:
         if not tasks:
@@ -362,7 +634,14 @@ class AsyncRunner(_PoolSizingMixin, RunnerBase):
 
         Shares :meth:`RunnerBase.run`'s cache partition/assemble helpers;
         only the fan-out in between is awaited instead of blocked on.
+        With supervision attached, the blocking supervised driver runs on
+        a thread so the caller's event loop stays free.
         """
+        if self.supervision is not None:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                None, functools.partial(self._run_supervised, list(specs))
+            )
 
         async def gather(tasks: list[Any]) -> list[Any]:
             return await self._gather(_execute_point, tasks) if tasks else []
@@ -371,9 +650,12 @@ class AsyncRunner(_PoolSizingMixin, RunnerBase):
             store = ResultStore()
             store.extend(await gather([self._point_task(spec) for spec in specs]))
             return store
+        corrupt_before = self.cache.corrupt
         results, keys, pending = self._cache_partition(specs)
         executed = await gather([self._point_task(spec) for _, spec in pending])
-        return self._cache_assemble(specs, results, keys, pending, executed)
+        store = self._cache_assemble(specs, results, keys, pending, executed)
+        store.cache_corrupt = self.cache.corrupt - corrupt_before
+        return store
 
 
 #: Any execution backend — what experiment sweeps accept as ``runner=``.
@@ -382,7 +664,8 @@ RunnerBackend = RunnerBase
 #: Runner backends by name — the registry ``make_runner`` and the CLI's
 #: ``--backend`` flag resolve through, mirroring ``BELIEF_BACKENDS`` /
 #: ``ROLLOUT_BACKENDS``.  Third-party backends register a RunnerBase
-#: subclass accepting ``(workers=, registry=, cache=)`` keywords.
+#: subclass accepting ``(workers=, registry=, cache=, supervision=,
+#: resume=, journal_dir=)`` keywords.
 RUNNER_BACKENDS = BackendRegistry(
     "runner",
     builtin_modules={
@@ -402,18 +685,30 @@ def make_runner(
     registry: ScenarioRegistry | None = None,
     cache: Optional[ResultCache] = None,
     cache_dir: "str | os.PathLike[str] | None" = None,
+    supervision: Optional[Supervision] = None,
+    resume: bool = False,
+    journal_dir: "str | os.PathLike[str] | None" = None,
 ) -> RunnerBase:
     """Build a backend by name — the switch the CLI and examples expose.
 
     ``cache_dir`` is shorthand for ``cache=ResultCache(cache_dir)``; an
     explicit ``cache`` instance wins when both are given.  ``workers`` is
     accepted (and ignored) by the serial backend so sweep code can thread
-    one knob through regardless of the chosen backend.
+    one knob through regardless of the chosen backend.  ``supervision``,
+    ``resume`` and ``journal_dir`` opt the runner into fault-tolerant
+    execution (see :class:`RunnerBase`).
     """
     cls = RUNNER_BACKENDS.resolve(backend)
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
-    return cls(workers=workers, registry=registry, cache=cache)
+    return cls(
+        workers=workers,
+        registry=registry,
+        cache=cache,
+        supervision=supervision,
+        resume=resume,
+        journal_dir=journal_dir,
+    )
 
 
 def run_specs(
@@ -423,6 +718,9 @@ def run_specs(
     registry: ScenarioRegistry | None = None,
     cache: Optional[ResultCache] = None,
     cache_dir: "str | os.PathLike[str] | None" = None,
+    supervision: Optional[Supervision] = None,
+    resume: bool = False,
+    journal_dir: "str | os.PathLike[str] | None" = None,
 ) -> ResultStore:
     """One-call convenience: build a backend and run ``specs`` through it."""
     return make_runner(
@@ -431,4 +729,7 @@ def run_specs(
         registry=registry,
         cache=cache,
         cache_dir=cache_dir,
+        supervision=supervision,
+        resume=resume,
+        journal_dir=journal_dir,
     ).run(specs)

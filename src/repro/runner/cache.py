@@ -26,13 +26,18 @@ same canonical :class:`~repro.runner.results.ResultStore` artifact, which
 ``benchmarks/bench_runner_cache.py`` gates at a ≥5× warm-rerun speedup.
 
 Writes are atomic (process-unique temp file + :func:`os.replace`), so any
-number of runner processes can share one cache directory; corrupted files
-read as misses and are overwritten by the next execution.
+number of runner processes can share one cache directory.  A corrupted or
+mismatched entry discovered at *read* time is never silently deleted: it
+is moved to the cache's ``quarantine/`` subdirectory (preserving the
+evidence for :mod:`repro.diagnostics` triage), counted on the instance's
+``corrupt`` counter, and read as a miss — the next execution stores a
+fresh entry in the vacated slot.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Optional
 
@@ -75,6 +80,9 @@ class ResultCache:
         self.stores = 0
         #: Files that existed but could not be read back (corruption).
         self.invalid = 0
+        #: Unreadable entries moved to ``quarantine/`` this session; the
+        #: runner surfaces the per-run delta as ``ResultStore.cache_corrupt``.
+        self.corrupt = 0
 
     # ---------------------------------------------------------------- identity
 
@@ -114,6 +122,17 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / "results" / key[:2] / f"{key}.json"
 
+    def _quarantine_entry(self, path: Path) -> None:
+        """Move an unreadable entry aside (never silently delete it)."""
+        self.invalid += 1
+        self.corrupt += 1
+        destination = self.root / "quarantine" / path.name
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+        except OSError:  # pragma: no cover - racing reader already moved it
+            pass
+
     # ------------------------------------------------------------------ lookup
 
     def load_point(self, key: str, spec: ScenarioSpec) -> Optional[PointResult]:
@@ -121,8 +140,10 @@ class ResultCache:
 
         Every failure mode — missing file, truncated JSON, wrong schema,
         or an entry whose recorded spec does not match ``spec`` (hash
-        paranoia) — reads as a miss; the subsequent execution overwrites
-        the slot.
+        paranoia) — reads as a miss.  An entry that *existed* but could
+        not be trusted is quarantined (moved to ``quarantine/`` and
+        counted on ``corrupt``), so the subsequent execution stores a
+        fresh file and the evidence survives for triage.
         """
         path = self._path(key)
         try:
@@ -131,7 +152,7 @@ class ResultCache:
             self.misses += 1
             return None
         except (OSError, ValueError):
-            self.invalid += 1
+            self._quarantine_entry(path)
             self.misses += 1
             return None
         if (
@@ -140,7 +161,7 @@ class ResultCache:
             or payload.get("spec") != spec.canonical()
             or not isinstance(payload.get("metrics"), dict)
         ):
-            self.invalid += 1
+            self._quarantine_entry(path)
             self.misses += 1
             return None
         self.hits += 1

@@ -17,6 +17,14 @@ persisted under its fingerprint-derived key and replayed on later runs —
 a warm rerun of the same grid reports all hits and produces bit-identical
 artifacts.  ``--no-cache`` forces execution even when a cache directory is
 configured in the environment.
+
+Fault tolerance is opt-in: any of ``--resume``, ``--max-retries``,
+``--point-timeout``, ``--strict`` or ``--inject-faults`` switches the run
+onto the supervised execution path (durable journal under the cache
+directory, per-point retries with deterministic backoff, quarantine of
+persistently failing points).  Exit codes: 0 full success, 1 partial
+(quarantined points remain), 2 configuration error, 3 strict-mode point
+failure, 130 interrupted.
 """
 
 from __future__ import annotations
@@ -24,15 +32,17 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 from repro._persist import cache_dir_override
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PointFailureError
 from repro.metrics.summary import format_table
 from repro.runner.backends import RUNNER_BACKENDS, run_specs
 from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from repro.runner.faults import FaultPlan
 from repro.runner.registry import DEFAULT_REGISTRY
 from repro.runner.spec import grid
+from repro.runner.supervise import Supervision
 
 
 def _parse_value(text: str) -> Any:
@@ -119,6 +129,56 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", default=None, metavar="PATH", help="write canonical JSON artifact")
     run.add_argument("--csv", default=None, metavar="PATH", help="write CSV artifact")
     run.add_argument("--timing", action="store_true", help="include per-point wall time")
+
+    faults = run.add_argument_group(
+        "fault tolerance",
+        "any of these switches the run onto the supervised execution path "
+        "(journalled, retried, quarantining)",
+    )
+    faults.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay completed points from the sweep journal of an earlier "
+            "(possibly killed) run of this exact grid; needs --cache-dir or "
+            f"${CACHE_DIR_ENV} to locate the journal"
+        ),
+    )
+    faults.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-run a failing point up to N times before quarantining it (default 2)",
+    )
+    faults.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry a point whose worker goes silent this long",
+    )
+    faults.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base delay before a retry, doubled per attempt (default 0.1)",
+    )
+    faults.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail the whole sweep on the first exhausted point (no quarantine)",
+    )
+    faults.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help=(
+            "chaos-test the run with a seeded fault plan, e.g. "
+            "'exception=0.1,kills=2,hangs=1,seed=7' or targeted 'kill@3'"
+        ),
+    )
     return parser
 
 
@@ -161,21 +221,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # workers and the policy-table precompute path share it.
             cache = ResultCache(cache_dir)
 
+    supervision = _build_supervision(args)
+    if args.resume and cache is None:
+        raise ConfigurationError(
+            "--resume needs a journal location: pass --cache-dir or set "
+            f"${CACHE_DIR_ENV} (the journal lives under the cache directory)"
+        )
+
     started = time.perf_counter()
     # With --no-cache, clear the inherited $REPRO_CACHE_DIR for the run's
     # duration so the policy-table precompute path cannot reuse artifacts
     # either; the caller's environment is restored afterwards.
     with cache_dir_override(None, clear=args.no_cache):
-        store = run_specs(specs, backend=args.backend, workers=args.workers, cache=cache)
+        store = run_specs(
+            specs,
+            backend=args.backend,
+            workers=args.workers,
+            cache=cache,
+            supervision=supervision,
+            resume=args.resume,
+        )
     elapsed = time.perf_counter() - started
 
     title = f"{args.scenario}: {len(store)} points via {args.backend} backend in {elapsed:.2f}s"
     print(format_table(store.rows(), title=title))
     if cache is not None:
+        corrupt = f", {store.cache_corrupt} corrupt" if store.cache_corrupt else ""
         print(
-            f"cache: {store.cache_hits} hit(s), {store.cache_misses} miss(es) "
-            f"in {cache.root}"
+            f"cache: {store.cache_hits} hit(s), {store.cache_misses} miss(es)"
+            f"{corrupt} in {cache.root}"
         )
+    if supervision is not None:
+        counts = store.counts()
+        print(
+            f"supervision: {counts['completed']} completed, "
+            f"{counts['quarantined']} quarantined, {counts['retries']} retried, "
+            f"{counts['resumed']} resumed from journal"
+        )
+        for point in store.quarantined:
+            print(
+                f"quarantined: {point.spec.label} after {point.attempts} "
+                f"attempt(s): {point.error}",
+                file=sys.stderr,
+            )
     if args.timing:
         print(f"\nper-point wall time total: {store.total_wall_time:.2f}s")
     if args.json:
@@ -184,7 +272,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.csv:
         store.to_csv(args.csv)
         print(f"wrote CSV artifact to {args.csv}")
-    return 0
+    return 1 if store.quarantined else 0
+
+
+def _build_supervision(args: argparse.Namespace) -> Optional[Supervision]:
+    """The :class:`Supervision` the flags ask for, or ``None`` (fast path).
+
+    The unsupervised path stays the default so plain sweeps pay zero
+    journalling overhead; touching any fault-tolerance flag opts in.
+    """
+    requested = (
+        args.resume
+        or args.strict
+        or args.max_retries is not None
+        or args.point_timeout is not None
+        or args.retry_backoff is not None
+        or args.inject_faults is not None
+    )
+    if not requested:
+        return None
+    if args.max_retries is not None and args.max_retries < 0:
+        raise ConfigurationError("--max-retries must be >= 0")
+    if args.point_timeout is not None and args.point_timeout <= 0:
+        raise ConfigurationError("--point-timeout must be positive")
+    plan = FaultPlan.parse(args.inject_faults) if args.inject_faults else None
+    defaults = Supervision()
+    return Supervision(
+        max_retries=args.max_retries if args.max_retries is not None else defaults.max_retries,
+        point_timeout=args.point_timeout,
+        backoff=args.retry_backoff if args.retry_backoff is not None else defaults.backoff,
+        seed=args.seed,
+        strict=args.strict,
+        fault_plan=plan,
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -201,6 +321,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except PointFailureError as error:
+        # --strict: the supervised driver already tore the workers down;
+        # surface the exhausted point and its last error.
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,338 @@
+"""Deliberate failure: seeded fault injection for the runner stack.
+
+Robustness claims are only as good as the failures they were tested
+against, so the runner accepts a :class:`FaultPlan` — a declarative,
+*seeded* description of which points of a sweep should misbehave and how:
+
+* ``exception`` — the point raises :class:`InjectedFaultError`;
+* ``hang`` — the point sleeps ``hang_seconds`` before continuing, long
+  enough to trip the supervisor's heartbeat timeout;
+* ``kill`` — the worker process dies abruptly (``os._exit``), the
+  moral equivalent of the OOM killer visiting mid-point;
+* ``kill_sweep`` — the *sweep* process itself is SIGKILLed from a worker,
+  which is how the resume tests produce a deterministic mid-grid crash;
+* ``corrupt`` — the point executes normally but its freshly stored
+  :class:`~repro.runner.cache.ResultCache` entry is truncated afterwards,
+  exercising the read-time corruption quarantine.
+
+Faults are assigned deterministically: count-based kinds (``kills=2``)
+sample point indices with a :class:`random.Random` seeded from the plan,
+and rate-based exceptions hash each spec's canonical identity, so the same
+plan over the same grid always injects at the same points — a chaos run is
+as replayable as a clean one.  Probabilistic and count-based faults fire on
+a point's *first* attempt only, so supervised retries can prove recovery;
+targeted faults (``kill@3``) may name explicit attempt numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError, ReproError
+from repro.runner.spec import ScenarioSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultAssignment",
+    "FaultPlan",
+    "InjectedFaultError",
+    "PointFault",
+    "corrupt_entry",
+    "perform_fault",
+]
+
+#: Every fault kind a plan may inject.
+FAULT_KINDS = ("exception", "hang", "kill", "kill_sweep", "corrupt")
+
+#: Exit status of a worker felled by an injected ``kill`` fault.
+KILLED_WORKER_EXIT = 77
+
+
+class InjectedFaultError(ReproError):
+    """Raised by an ``exception`` fault — a stand-in for any point failure."""
+
+
+def _point_uniform(seed: int, stream: str, key: str) -> float:
+    """Deterministic uniform in [0, 1) from ``(seed, stream, key)``.
+
+    Digest-based (not :mod:`random`) so the value is independent of call
+    order and identical in every process — the property that keeps chaos
+    runs replayable.
+    """
+    digest = hashlib.sha256(f"{seed}:{stream}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class PointFault:
+    """One fault pinned to a specific grid point.
+
+    ``index`` addresses the point by grid position; ``label`` by its
+    :attr:`~repro.runner.spec.ScenarioSpec.label` (exact match).  At least
+    one must be given.  ``attempts`` lists the attempt numbers (0-based)
+    on which the fault fires — the default ``(0,)`` means "first try
+    only", so a retry succeeds.
+    """
+
+    kind: str
+    index: int | None = None
+    label: str | None = None
+    attempts: tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; known kinds: {', '.join(FAULT_KINDS)}"
+            )
+        if self.index is None and self.label is None:
+            raise ConfigurationError("a PointFault needs an index or a label")
+
+    def matches(self, index: int, spec: ScenarioSpec) -> bool:
+        if self.index is not None:
+            return index == self.index
+        return spec.label == self.label
+
+
+@dataclass(frozen=True)
+class FaultAssignment:
+    """A plan resolved against one concrete spec list.
+
+    ``execution`` maps grid index → the fault armed around that point's
+    execution; ``corrupt`` is the set of indices whose cache entry is
+    truncated after being stored.  Resolution happens once, in the
+    supervisor, so worker processes receive an already-decided fault kind
+    instead of the plan itself.
+    """
+
+    execution: Mapping[int, PointFault] = field(default_factory=dict)
+    corrupt: frozenset[int] = frozenset()
+    hang_seconds: float = 3600.0
+
+    def fault_for(self, index: int, attempt: int) -> str | None:
+        """The fault kind to arm for ``(point, attempt)``, or ``None``."""
+        fault = self.execution.get(index)
+        if fault is not None and attempt in fault.attempts:
+            return fault.kind
+        return None
+
+
+#: The empty assignment — what a run without a plan supervises against.
+NO_FAULTS = FaultAssignment()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative chaos: which fraction/count of points fail, and how.
+
+    Parameters
+    ----------
+    seed:
+        Seeds every sampling decision; two runs of the same plan over the
+        same grid inject identically.
+    exception_rate:
+        Per-point probability of an ``exception`` fault (first attempt
+        only), decided by hashing the spec's canonical identity.
+    kills / hangs / corrupt:
+        Exact counts of worker kills, hangs, and cache-entry corruptions
+        spread over the grid (sampled without replacement).
+    hang_seconds:
+        How long a ``hang`` fault sleeps.  Pick it well above the
+        supervisor's ``point_timeout`` to prove hang detection, or small
+        to model a transient stall that resolves by itself.
+    targets:
+        Explicitly pinned :class:`PointFault` entries; they take precedence
+        over sampled faults on the same point.
+    """
+
+    seed: int = 0
+    exception_rate: float = 0.0
+    kills: int = 0
+    hangs: int = 0
+    corrupt: int = 0
+    hang_seconds: float = 3600.0
+    targets: tuple[PointFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.exception_rate <= 1.0:
+            raise ConfigurationError(
+                f"exception_rate must be in [0, 1], got {self.exception_rate!r}"
+            )
+        for name in ("kills", "hangs", "corrupt"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {getattr(self, name)!r}")
+        if self.hang_seconds <= 0:
+            raise ConfigurationError(
+                f"hang_seconds must be > 0, got {self.hang_seconds!r}"
+            )
+
+    # ------------------------------------------------------------- resolution
+
+    def assign(self, specs: Sequence[ScenarioSpec]) -> FaultAssignment:
+        """Resolve the plan against a concrete grid, deterministically.
+
+        Targeted faults land first; count-based kinds then sample the
+        still-free indices with a plan-seeded RNG; rate-based exceptions
+        fill in by per-spec hash.  A point carries at most one execution
+        fault (corruption is independent — it happens after a successful
+        execution and may coexist).
+        """
+        taken: dict[int, PointFault] = {}
+        corrupt: set[int] = set()
+        for target in self.targets:
+            matched = [i for i, spec in enumerate(specs) if target.matches(i, spec)]
+            if not matched:
+                raise ConfigurationError(
+                    f"fault target {target.kind!r}@{target.index if target.index is not None else target.label!r} "
+                    f"matches no point of the {len(specs)}-spec grid"
+                )
+            for index in matched:
+                if target.kind == "corrupt":
+                    corrupt.add(index)
+                else:
+                    taken[index] = target
+
+        rng = random.Random(f"repro.runner.faults:{self.seed}")
+        for kind, count in (("kill", self.kills), ("hang", self.hangs)):
+            free = [i for i in range(len(specs)) if i not in taken]
+            if count > len(free):
+                raise ConfigurationError(
+                    f"plan wants {count} {kind} fault(s) but only {len(free)} "
+                    f"point(s) are free to carry one"
+                )
+            for index in rng.sample(free, count):
+                taken[index] = PointFault(kind=kind, index=index)
+
+        if self.exception_rate > 0.0:
+            for index, spec in enumerate(specs):
+                if index in taken:
+                    continue
+                if _point_uniform(self.seed, "exception", spec.canonical()) < self.exception_rate:
+                    taken[index] = PointFault(kind="exception", index=index)
+
+        if self.corrupt:
+            pool = sorted(set(range(len(specs))) - corrupt)
+            if self.corrupt > len(pool):
+                raise ConfigurationError(
+                    f"plan wants {self.corrupt} corrupt cache entr(ies) but the "
+                    f"grid has only {len(pool)} uncorrupted point(s)"
+                )
+            corrupt.update(rng.sample(pool, self.corrupt))
+
+        return FaultAssignment(
+            execution=dict(taken),
+            corrupt=frozenset(corrupt),
+            hang_seconds=self.hang_seconds,
+        )
+
+    # ------------------------------------------------------------- CLI surface
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from the CLI's ``--inject-faults`` argument.
+
+        Comma-separated tokens, e.g.
+        ``"exception=0.1,kills=2,hangs=1,corrupt=1,seed=7"`` for sampled
+        chaos, plus targeted ``kind@index`` tokens such as ``kill@3`` or
+        ``kill_sweep@2`` (fire on the point's first attempt).
+        """
+        plan = cls()
+        targets: list[PointFault] = []
+        for token in (t.strip() for t in text.split(",") if t.strip()):
+            if "@" in token:
+                kind, _, where = token.partition("@")
+                try:
+                    index = int(where)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"fault target {token!r} needs an integer point index"
+                    ) from None
+                targets.append(PointFault(kind=kind.strip(), index=index))
+                continue
+            if "=" not in token:
+                raise ConfigurationError(
+                    f"fault token {token!r} is neither key=value nor kind@index"
+                )
+            key, _, value = token.partition("=")
+            key = key.strip()
+            try:
+                if key == "exception":
+                    plan = replace(plan, exception_rate=float(value))
+                elif key in ("kills", "hangs", "corrupt"):
+                    plan = replace(plan, **{key: int(value)})
+                elif key == "seed":
+                    plan = replace(plan, seed=int(value))
+                elif key == "hang_seconds":
+                    plan = replace(plan, hang_seconds=float(value))
+                else:
+                    raise ConfigurationError(
+                        f"unknown fault-plan key {key!r}; known keys: "
+                        "exception, kills, hangs, corrupt, seed, hang_seconds, kind@index"
+                    )
+            except ValueError:
+                raise ConfigurationError(
+                    f"fault-plan value {value!r} for {key!r} is not a number"
+                ) from None
+        return replace(plan, targets=tuple(targets))
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        if self.exception_rate:
+            parts.append(f"exception={self.exception_rate:g}")
+        for name in ("kills", "hangs", "corrupt"):
+            if getattr(self, name):
+                parts.append(f"{name}={getattr(self, name)}")
+        parts.extend(
+            f"{t.kind}@{t.index if t.index is not None else t.label}" for t in self.targets
+        )
+        return ",".join(parts)
+
+
+# ------------------------------------------------------------------- execution
+
+
+def perform_fault(
+    kind: str, *, hang_seconds: float, label: str, in_worker: bool
+) -> None:
+    """Execute one armed fault at the start of a point's attempt.
+
+    ``in_worker`` distinguishes a supervised worker process (where a
+    ``kill`` is a clean worker death and ``kill_sweep`` shoots the parent
+    supervisor) from inline serial execution (where both kill the sweep
+    process itself — which is the point: the journal is what survives).
+    """
+    if kind == "exception":
+        raise InjectedFaultError(f"injected fault at {label}")
+    if kind == "hang":
+        time.sleep(hang_seconds)
+        return
+    if kind == "kill":
+        if in_worker:
+            os._exit(KILLED_WORKER_EXIT)
+        os.kill(os.getpid(), signal.SIGKILL)
+    if kind == "kill_sweep":
+        victim = os.getppid() if in_worker else os.getpid()
+        if victim > 1:
+            os.kill(victim, signal.SIGKILL)
+        # The sweep is dead (or dying); this attempt must never report a
+        # result.  Give the signal time to land, then fall on our sword.
+        time.sleep(5.0)
+        os._exit(KILLED_WORKER_EXIT)
+    raise ConfigurationError(f"unknown fault kind {kind!r}")  # pragma: no cover
+
+
+def corrupt_entry(path: str | os.PathLike[str]) -> None:
+    """Truncate a cache entry in place, simulating a torn write.
+
+    Deliberately *not* atomic — the whole point is to leave the kind of
+    half-file the cache's read-time quarantine must catch.
+    """
+    target = Path(path)
+    data = target.read_bytes()
+    target.write_bytes(data[: max(1, len(data) // 2)])

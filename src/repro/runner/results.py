@@ -48,6 +48,31 @@ class PointResult:
 
 
 @dataclass
+class QuarantinedPoint:
+    """A point that exhausted its retries and was set aside, not lost.
+
+    Under partial (non-strict) supervision a repeatedly failing point no
+    longer poisons the sweep: its spec, final error, and traceback are
+    recorded here (and in the sweep journal) so the failure is diagnosable
+    after the fact, while every healthy point still lands in the store.
+    """
+
+    spec: ScenarioSpec
+    error: str
+    traceback: str = ""
+    attempts: int = 1
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "scenario": self.spec.scenario,
+            "params": dict(self.spec.params),
+            "seed": self.spec.seed,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
 class ResultStore:
     """An ordered collection of :class:`PointResult` with stable serialization."""
 
@@ -59,6 +84,18 @@ class ResultStore:
     #: byte-identical to the cold run that populated the cache).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Cache entries found corrupt at read time and moved to the cache's
+    #: ``quarantine/`` directory during this run.
+    cache_corrupt: int = 0
+    #: ``True`` when the producing run tolerated failures: quarantined
+    #: points are absent from ``results`` but listed in ``quarantined``.
+    partial: bool = False
+    #: Points set aside after exhausting their retries (partial mode only).
+    quarantined: list[QuarantinedPoint] = field(default_factory=list)
+    #: Failed attempts that were retried during the run.
+    retries: int = 0
+    #: Points replayed from a sweep journal by ``resume=True``.
+    resumed: int = 0
 
     # ------------------------------------------------------------- collection
 
@@ -74,7 +111,24 @@ class ResultStore:
             results=[*self.results, *other.results],
             cache_hits=self.cache_hits + other.cache_hits,
             cache_misses=self.cache_misses + other.cache_misses,
+            cache_corrupt=self.cache_corrupt + other.cache_corrupt,
+            partial=self.partial or other.partial,
+            quarantined=[*self.quarantined, *other.quarantined],
+            retries=self.retries + other.retries,
+            resumed=self.resumed + other.resumed,
         )
+
+    def counts(self) -> dict[str, int]:
+        """Completed/quarantined/retry bookkeeping as one reportable dict."""
+        return {
+            "completed": len(self.results),
+            "quarantined": len(self.quarantined),
+            "retries": self.retries,
+            "resumed": self.resumed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_corrupt": self.cache_corrupt,
+        }
 
     def __len__(self) -> int:
         return len(self.results)
@@ -100,10 +154,16 @@ class ResultStore:
     # -------------------------------------------------------------- artifacts
 
     def to_obj(self, include_timing: bool = False) -> dict[str, Any]:
-        return {
+        obj: dict[str, Any] = {
             "schema": "repro.runner/1",
             "results": [result.to_obj(include_timing=include_timing) for result in self.results],
         }
+        # Quarantined points appear only when there are any, so a clean
+        # run's artifact stays byte-identical to pre-supervision output
+        # (and a resumed clean run to an uninterrupted one).
+        if self.quarantined:
+            obj["quarantined"] = [point.to_obj() for point in self.quarantined]
+        return obj
 
     def to_json(
         self,

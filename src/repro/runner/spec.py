@@ -13,6 +13,7 @@ declare.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field
@@ -72,6 +73,23 @@ class ScenarioSpec:
             separators=(",", ":"),
             default=str,
         )
+
+
+def grid_digest(specs: Sequence[ScenarioSpec]) -> str:
+    """Stable identity of an *ordered* spec list.
+
+    Keys the sweep journal (one journal file per grid), so ``resume=True``
+    only ever replays state recorded for the byte-identical grid: a
+    changed axis, an added seed, or a reordering produces a different
+    digest and therefore a fresh journal.  Hashing is local (stdlib
+    :mod:`hashlib` over each spec's canonical JSON) to keep this module
+    dependency-free.
+    """
+    digest = hashlib.sha256(b"repro.runner/grid:1\n")
+    for spec in specs:
+        digest.update(spec.canonical().encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:32]
 
 
 def grid(

@@ -1,0 +1,522 @@
+"""Supervised point execution: timeouts, retries, backoff, quarantine.
+
+The unsupervised fan-out paths (``pool.map``, the asyncio gather) are fast
+but brittle: one poisoned point fails the sweep, a killed worker loses its
+task, and a hung point blocks forever.  This module is the robust
+alternative the backends switch to when a :class:`Supervision` policy is
+attached:
+
+* every in-flight point runs in its *own* worker process (fork-cheap on
+  Linux), so the supervisor holds a pid it can actually kill;
+* liveness is heartbeat-based — a worker beats once when it starts its
+  point, and a point that has not completed within ``point_timeout`` of
+  its last beat is killed and treated as hung;
+* failures (exceptions, worker death, hangs) are retried up to
+  ``max_retries`` times with exponential backoff and *deterministic*
+  seeded jitter, so a replayed chaos run schedules identically;
+* a point that exhausts its retries is **quarantined** — recorded with
+  its error and traceback instead of poisoning the sweep — unless
+  ``strict`` asks for fail-fast (:class:`~repro.errors.PointFailureError`);
+* user-initiated cancellation (``KeyboardInterrupt`` / ``CancelledError``)
+  is never retried or quarantined: all workers are killed and the
+  interrupt propagates promptly.
+
+The driver reports every transition to an observer (the runner wires in
+the sweep journal and the result cache), which is what makes a supervised
+sweep durable and resumable.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import os
+import time
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from multiprocessing import connection
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import PointFailureError
+from repro.runner.faults import (
+    NO_FAULTS,
+    KILLED_WORKER_EXIT,
+    FaultAssignment,
+    FaultPlan,
+    perform_fault,
+)
+from repro.runner.results import PointResult, QuarantinedPoint
+from repro.runner.spec import ScenarioSpec
+
+__all__ = [
+    "Supervision",
+    "SupervisedJob",
+    "SupervisedOutcome",
+    "SweepObserver",
+    "run_supervised",
+]
+
+#: Exception names from a worker that mean "the user cancelled", which must
+#: shut the sweep down promptly instead of being retried or quarantined.
+_CANCEL_NAMES = ("KeyboardInterrupt", "CancelledError")
+
+#: Supervisor poll tick (seconds) — bounds hang-detection latency.
+_TICK = 0.05
+
+
+@dataclass(frozen=True)
+class Supervision:
+    """Fault-tolerance policy for one sweep.
+
+    Parameters
+    ----------
+    max_retries:
+        Failed attempts a point may retry before being quarantined (or,
+        under ``strict``, failing the sweep).
+    point_timeout:
+        Seconds a point may run past its last heartbeat before the
+        supervisor kills it as hung.  ``None`` disables hang detection.
+        Enforced by the process backends; the serial backend executes
+        inline and cannot preempt a hung point.
+    backoff / backoff_cap:
+        Base delay before retry ``k`` is ``backoff * 2**(k-1)``, jittered
+        and capped at ``backoff_cap``.
+    jitter:
+        Relative jitter width: the delay is scaled by a deterministic
+        factor in ``[1 - jitter/2, 1 + jitter/2]`` derived from
+        ``(seed, point identity, attempt)`` — seeded, so replays schedule
+        byte-identically.
+    seed:
+        Seeds the jitter stream (independent of the points' RNG seeds).
+    strict:
+        ``True`` restores fail-fast: the first exhausted point raises
+        :class:`~repro.errors.PointFailureError`.  The default degrades
+        gracefully to partial results with quarantine records.
+    fault_plan:
+        Optional :class:`~repro.runner.faults.FaultPlan` to inject
+        deliberate failures — the chaos harness the recovery paths are
+        tested against.
+    """
+
+    max_retries: int = 2
+    point_timeout: Optional[float] = None
+    backoff: float = 0.1
+    backoff_cap: float = 5.0
+    jitter: float = 0.5
+    seed: int = 0
+    strict: bool = False
+    fault_plan: Optional[FaultPlan] = None
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of point ``key``."""
+        if attempt < 1 or self.backoff <= 0.0:
+            return 0.0
+        base = self.backoff * 2.0 ** (attempt - 1)
+        digest = hashlib.sha256(
+            f"{self.seed}:backoff:{key}:{attempt}".encode("utf-8")
+        ).digest()
+        uniform = int.from_bytes(digest[:8], "big") / 2.0**64
+        jittered = base * (1.0 + self.jitter * (uniform - 0.5))
+        return min(jittered, self.backoff_cap)
+
+
+@dataclass(frozen=True)
+class SupervisedJob:
+    """One pending point: its grid index, spec, and the worker's task."""
+
+    index: int
+    spec: ScenarioSpec
+    task: Any
+
+
+@dataclass
+class SupervisedOutcome:
+    """What a supervised fan-out produced, keyed by grid index."""
+
+    results: dict[int, PointResult] = field(default_factory=dict)
+    quarantined: dict[int, QuarantinedPoint] = field(default_factory=dict)
+    retries: int = 0
+
+
+class SweepObserver:
+    """No-op observer; the runner subclasses it to journal and cache."""
+
+    def on_running(self, index: int, attempt: int) -> None:  # pragma: no cover
+        pass
+
+    def on_done(self, index: int, result: PointResult) -> None:  # pragma: no cover
+        pass
+
+    def on_failed(self, index: int, attempt: int, error: str) -> None:  # pragma: no cover
+        pass
+
+    def on_quarantined(self, index: int, point: QuarantinedPoint) -> None:  # pragma: no cover
+        pass
+
+
+# --------------------------------------------------------------- worker side
+
+
+def _child_main(
+    conn: connection.Connection,
+    worker: Callable[[Any], Any],
+    task: Any,
+    fault: str | None,
+    hang_seconds: float,
+    label: str,
+) -> None:
+    """Run one attempt in a dedicated worker process.
+
+    Protocol on ``conn``: ``("beat",)`` once at start (the heartbeat the
+    hang detector times against), then ``("ok", result)`` or
+    ``("err", type_name, message, traceback)``.  A worker that dies
+    without a final message is classified as killed by its exit code.
+    """
+    try:
+        conn.send(("beat",))
+        if fault is not None:
+            perform_fault(fault, hang_seconds=hang_seconds, label=label, in_worker=True)
+        result = worker(task)
+        conn.send(("ok", result))
+    except BaseException as error:  # noqa: BLE001 - everything must be reported
+        try:
+            conn.send(
+                (
+                    "err",
+                    type(error).__name__,
+                    str(error),
+                    traceback_module.format_exc(),
+                )
+            )
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        # Skip interpreter finalization: the result is already delivered,
+        # and a forked child's teardown would copy-on-write (and then free)
+        # every page it inherited — easily dwarfing the point itself.  The
+        # pipe above is the only resource that needed an orderly goodbye.
+        os._exit(0)
+
+
+# ----------------------------------------------------------- supervisor side
+
+
+@dataclass
+class _InFlight:
+    """Bookkeeping for one running worker."""
+
+    job: SupervisedJob
+    attempt: int
+    process: Any
+    conn: connection.Connection
+    launched: float
+    beat: Optional[float] = None
+    final: Optional[tuple] = None
+
+    @property
+    def deadline_base(self) -> float:
+        return self.beat if self.beat is not None else self.launched
+
+
+class _Driver:
+    def __init__(
+        self,
+        jobs: Sequence[SupervisedJob],
+        worker: Callable[[Any], Any],
+        *,
+        supervision: Supervision,
+        assignment: FaultAssignment,
+        observer: SweepObserver,
+        workers: int,
+        mp_context: Any,
+    ) -> None:
+        self.worker = worker
+        self.sup = supervision
+        self.assignment = assignment
+        self.observer = observer
+        self.workers = max(1, workers)
+        self.context = mp_context
+        self.outcome = SupervisedOutcome()
+        self._seq = 0
+        #: Min-heap of (ready_at, seq, job, attempt) awaiting a worker slot.
+        self.queue: list[tuple[float, int, SupervisedJob, int]] = []
+        self.running: dict[Any, _InFlight] = {}  # sentinel → info
+        for job in jobs:
+            self._enqueue(job, attempt=0, ready_at=0.0)
+
+    # ------------------------------------------------------------- scheduling
+
+    def _enqueue(self, job: SupervisedJob, attempt: int, ready_at: float) -> None:
+        heappush(self.queue, (ready_at, self._seq, job, attempt))
+        self._seq += 1
+
+    def _launch_ready(self) -> None:
+        now = time.monotonic()
+        while self.queue and len(self.running) < self.workers and self.queue[0][0] <= now:
+            _, _, job, attempt = heappop(self.queue)
+            self.observer.on_running(job.index, attempt)
+            fault = self.assignment.fault_for(job.index, attempt)
+            parent_conn, child_conn = self.context.Pipe(duplex=False)
+            process = self.context.Process(
+                target=_child_main,
+                args=(
+                    child_conn,
+                    self.worker,
+                    job.task,
+                    fault,
+                    self.assignment.hang_seconds,
+                    job.spec.label,
+                ),
+                daemon=False,
+            )
+            process.start()
+            child_conn.close()
+            self.running[process.sentinel] = _InFlight(
+                job=job,
+                attempt=attempt,
+                process=process,
+                conn=parent_conn,
+                launched=time.monotonic(),
+            )
+
+    def _wait_timeout(self) -> float:
+        now = time.monotonic()
+        timeout = _TICK if self.sup.point_timeout is not None else 0.5
+        if self.queue and len(self.running) < self.workers:
+            # A retry is backing off into a free slot: wake when it's due.
+            # (A ready job with a free slot was already launched, so this
+            # delta is positive and the wait never busy-spins.)
+            timeout = min(timeout, max(0.0, self.queue[0][0] - now))
+        return timeout
+
+    # --------------------------------------------------------------- messages
+
+    def _drain(self, info: _InFlight) -> None:
+        try:
+            while info.conn.poll(0):
+                message = info.conn.recv()
+                if message[0] == "beat":
+                    info.beat = time.monotonic()
+                else:
+                    info.final = message
+        except (EOFError, OSError):
+            pass
+
+    # --------------------------------------------------------------- failures
+
+    def _failure(self, info: _InFlight, reason: str, trace: str = "") -> None:
+        job, attempt = info.job, info.attempt
+        if attempt < self.sup.max_retries:
+            self.outcome.retries += 1
+            self.observer.on_failed(job.index, attempt, reason)
+            delay = self.sup.delay(job.spec.canonical(), attempt + 1)
+            self._enqueue(job, attempt + 1, time.monotonic() + delay)
+            return
+        attempts = attempt + 1
+        if self.sup.strict:
+            self._kill_all()
+            raise PointFailureError(job.spec, attempts, reason)
+        point = QuarantinedPoint(
+            spec=job.spec, error=reason, traceback=trace, attempts=attempts
+        )
+        self.outcome.quarantined[job.index] = point
+        self.observer.on_quarantined(job.index, point)
+
+    def _kill_all(self) -> None:
+        for info in self.running.values():
+            try:
+                info.process.kill()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        for info in self.running.values():
+            info.process.join()
+            info.conn.close()
+        self.running.clear()
+
+    # ------------------------------------------------------------ transitions
+
+    def _finalize(self, sentinel: Any) -> None:
+        info = self.running.pop(sentinel)
+        self._drain(info)
+        info.process.join()
+        info.conn.close()
+        final = info.final
+        if final is not None and final[0] == "ok":
+            self.outcome.results[info.job.index] = final[1]
+            self.observer.on_done(info.job.index, final[1])
+            return
+        if final is not None and final[0] == "err":
+            _, name, message, trace = final
+            if name in _CANCEL_NAMES:
+                # User-initiated cancellation: never a point failure.
+                self._kill_all()
+                raise KeyboardInterrupt(message or name)
+            self._failure(info, f"{name}: {message}", trace)
+            return
+        code = info.process.exitcode
+        label = "injected kill" if code == KILLED_WORKER_EXIT else "worker died"
+        self._failure(info, f"{label} (exit code {code})")
+
+    def _reap_hangs(self) -> None:
+        if self.sup.point_timeout is None:
+            return
+        now = time.monotonic()
+        for sentinel, info in list(self.running.items()):
+            self._drain(info)
+            if info.final is not None or not info.process.is_alive():
+                continue
+            if now - info.deadline_base > self.sup.point_timeout:
+                info.process.kill()
+                info.process.join()
+                info.conn.close()
+                self.running.pop(sentinel)
+                self._failure(
+                    info, f"hang (no result within {self.sup.point_timeout:g}s of last heartbeat)"
+                )
+
+    # --------------------------------------------------------------- main loop
+
+    def run(self) -> SupervisedOutcome:
+        # Freeze the heap before fanning out: every point forks a fresh
+        # child, and a child's first GC pass would otherwise scan — and
+        # copy-on-write — every page inherited from this process, costing
+        # more than a short point itself.  Frozen objects are exempt from
+        # collection in parent and children alike; unfreeze restores
+        # normal collection once the sweep is done.
+        gc.collect()
+        gc.freeze()
+        try:
+            while self.queue or self.running:
+                self._launch_ready()
+                if not self.running:
+                    # Every pending retry is backing off; nothing to wait on.
+                    time.sleep(min(self._wait_timeout(), _TICK))
+                    continue
+                ready = connection.wait(
+                    list(self.running) + [info.conn for info in self.running.values()],
+                    timeout=self._wait_timeout(),
+                )
+                fired = set()
+                for handle in ready:
+                    for sentinel, info in self.running.items():
+                        if handle is sentinel or handle is info.conn:
+                            fired.add(sentinel)
+                for sentinel in fired:
+                    info = self.running.get(sentinel)
+                    if info is None:
+                        continue
+                    self._drain(info)
+                    if info.final is not None or not info.process.is_alive():
+                        self._finalize(sentinel)
+                self._reap_hangs()
+            return self.outcome
+        except BaseException:
+            self._kill_all()
+            raise
+        finally:
+            gc.unfreeze()
+
+
+# ---------------------------------------------------------------- serial path
+
+
+def _run_inline(
+    jobs: Sequence[SupervisedJob],
+    worker: Callable[[Any], Any],
+    *,
+    supervision: Supervision,
+    assignment: FaultAssignment,
+    observer: SweepObserver,
+) -> SupervisedOutcome:
+    """Serial supervision: same retry/quarantine semantics, in-process.
+
+    No preemption is possible here, so ``point_timeout`` is not enforced
+    (an injected hang simply sleeps) and ``kill`` faults take the whole
+    sweep down — which is exactly what the journal-and-resume path is for.
+    """
+    outcome = SupervisedOutcome()
+    for job in jobs:
+        attempt = 0
+        while True:
+            observer.on_running(job.index, attempt)
+            fault = assignment.fault_for(job.index, attempt)
+            try:
+                if fault is not None:
+                    perform_fault(
+                        fault,
+                        hang_seconds=assignment.hang_seconds,
+                        label=job.spec.label,
+                        in_worker=False,
+                    )
+                result = worker(job.task)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as error:  # noqa: BLE001 - quarantine anything
+                if type(error).__name__ in _CANCEL_NAMES:
+                    raise
+                reason = f"{type(error).__name__}: {error}"
+                if attempt < supervision.max_retries:
+                    outcome.retries += 1
+                    observer.on_failed(job.index, attempt, reason)
+                    time.sleep(supervision.delay(job.spec.canonical(), attempt + 1))
+                    attempt += 1
+                    continue
+                if supervision.strict:
+                    raise PointFailureError(job.spec, attempt + 1, reason) from error
+                point = QuarantinedPoint(
+                    spec=job.spec,
+                    error=reason,
+                    traceback=traceback_module.format_exc(),
+                    attempts=attempt + 1,
+                )
+                outcome.quarantined[job.index] = point
+                observer.on_quarantined(job.index, point)
+                break
+            else:
+                outcome.results[job.index] = result
+                observer.on_done(job.index, result)
+                break
+    return outcome
+
+
+# ------------------------------------------------------------------ front door
+
+
+def run_supervised(
+    jobs: Sequence[SupervisedJob],
+    worker: Callable[[Any], Any],
+    *,
+    supervision: Supervision,
+    assignment: FaultAssignment = NO_FAULTS,
+    observer: Optional[SweepObserver] = None,
+    workers: int = 1,
+    mp_context: Any = None,
+) -> SupervisedOutcome:
+    """Execute ``jobs`` under supervision and return per-index outcomes.
+
+    ``mp_context`` selects the engine: a :mod:`multiprocessing` context
+    runs one worker process per in-flight point (timeouts, kill recovery);
+    ``None`` runs inline (the serial backend).
+    """
+    observer = observer if observer is not None else SweepObserver()
+    if not jobs:
+        return SupervisedOutcome()
+    if mp_context is None:
+        return _run_inline(
+            jobs, worker, supervision=supervision, assignment=assignment, observer=observer
+        )
+    driver = _Driver(
+        jobs,
+        worker,
+        supervision=supervision,
+        assignment=assignment,
+        observer=observer,
+        workers=workers,
+        mp_context=mp_context,
+    )
+    return driver.run()

@@ -9,9 +9,17 @@ trustworthy and cached results comparable.
 
 from __future__ import annotations
 
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.runner import ParallelRunner, ScenarioSpec, SerialRunner
+from repro.runner.cache import CACHE_DIR_ENV
+from repro.runner.cli import main as cli_main
 from repro.runner.scenarios import loss_delay_buffer_specs
 
 #: A small but non-trivial grid: 2 losses x 2 delays = 4 points, short runs.
@@ -82,3 +90,67 @@ class TestBackendEquivalence:
             ]
 
         assert summary(serial) == summary(parallel)
+
+
+class TestKillAndResume:
+    """A SIGKILLed sweep, resumed, must reproduce the uninterrupted bytes.
+
+    The sweep process is killed mid-grid from inside a worker (the
+    ``kill_sweep`` fault — deterministic, no signal-timing races), then the
+    same command line plus ``--resume`` replays the journal and finishes
+    the grid.  The merged artifact must be byte-identical to a run that
+    was never interrupted, on every backend.
+    """
+
+    GRID = ["run", "single_link_tcp", "--set", "duration=2", "--seeds", "6"]
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("backend", ["serial", "parallel", "async"])
+    def test_sigkilled_sweep_resumes_byte_identical(self, backend, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        clean_json = tmp_path / "clean.json"
+        assert cli_main([*self.GRID, "--json", str(clean_json)]) == 0
+
+        cache_dir = tmp_path / "cache"
+        backend_argv = [*self.GRID, "--backend", backend, "--workers", "2"]
+        killed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.runner",
+                *backend_argv,
+                "--cache-dir",
+                str(cache_dir),
+                "--max-retries",
+                "2",
+                "--inject-faults",
+                "kill_sweep@3",
+            ],
+            env={
+                **os.environ,
+                "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src"),
+            },
+            capture_output=True,
+            timeout=120,
+        )
+        # SIGKILL, not a clean exit: the sweep really died mid-grid.
+        assert killed.returncode in (-signal.SIGKILL, 128 + signal.SIGKILL), (
+            killed.returncode,
+            killed.stderr.decode(errors="replace"),
+        )
+        journals = list((cache_dir / "journal").glob("*.jsonl"))
+        assert len(journals) == 1  # durable state survived the kill
+
+        resumed_json = tmp_path / "resumed.json"
+        code = cli_main(
+            [
+                *backend_argv,
+                "--cache-dir",
+                str(cache_dir),
+                "--resume",
+                "--json",
+                str(resumed_json),
+            ]
+        )
+        assert code == 0
+        assert resumed_json.read_bytes() == clean_json.read_bytes()
