@@ -1,0 +1,189 @@
+"""Benchmark: the policy-serving fallback chain, clean and under chaos.
+
+Times the two real serving paths of
+:class:`~repro.serving.fallback.DecisionService` — tier 1 (published
+policy-table lookup) against tier 2 (live planning on the
+signature-reconstructed belief, the path every table miss takes) — and
+then replays a seeded chaos plan to measure degraded-mode availability:
+the fraction of requests that still received a valid decision while
+exceptions and corruption were being injected.
+
+Gates (``BENCH_serving.json``, checked by ``benchmarks/compare.py``):
+
+* ``serving_table.speedup_vs_planner`` ≥ 5 — the tentpole claim that a
+  published table answers at least 5× faster than planning live;
+* ``serving_chaos.availability`` ≥ 1.0 — under the fault plan, 100 % of
+  requests get a valid decision (the degradation ladder never drops one).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api.config import SenderConfig
+from repro.api.policy import precompute_policy_table
+from repro.inference import single_link_prior
+from repro.metrics.summary import ExperimentRow, format_table
+from repro.runner.faults import FaultPlan
+from repro.serving import DecisionService, PolicyTableRegistry, ServingFaultInjector
+
+#: The acceptance floor for the table tier over the live-planning tier.
+MIN_TABLE_SPEEDUP = 5.0
+
+#: Lookups timed per path (table lookups are microseconds; planning is not).
+TABLE_DECIDES = 2_000
+PLANNER_DECIDES = 60
+
+
+def serving_config() -> SenderConfig:
+    return SenderConfig(
+        prior=single_link_prior(link_rate_points=2, fill_points=1),
+        top_k=4,
+        max_hypotheses=32,
+        belief_backend="vectorized",
+        rollout_backend="vectorized",
+        policy="table",
+    )
+
+
+def test_serving_tiers_and_chaos_availability(
+    tmp_path, table_printer, bench_record
+):
+    """Table tier vs. live-planning tier, plus chaos-mode availability."""
+    config = serving_config()
+    table = precompute_policy_table(
+        config, pilot_duration=5.0, burst_levels=(0, 2), seed=2
+    )
+    registry = PolicyTableRegistry(tmp_path / "registry")
+    registry.publish(table)
+    fingerprint = config.fingerprint()
+    signatures = table.signatures()
+
+    # Tier 1: served table lookups (the full decide path, counters and all).
+    table_service = DecisionService(registry, [config])
+    started = time.perf_counter()
+    for index in range(TABLE_DECIDES):
+        served = table_service.decide(fingerprint, signatures[index % len(signatures)])
+        assert served.tier == "table"
+    table_wall = time.perf_counter() - started
+
+    # Tier 2: the same requests against an empty registry, so every decide
+    # reconstructs the belief and plans live — what each table miss costs.
+    planner_service = DecisionService(
+        PolicyTableRegistry(tmp_path / "empty"), [config], planner_timeout=60.0
+    )
+    started = time.perf_counter()
+    for index in range(PLANNER_DECIDES):
+        served = planner_service.decide(
+            fingerprint, signatures[index % len(signatures)]
+        )
+        assert served.tier == "planner"
+    planner_wall = time.perf_counter() - started
+
+    table_us = table_wall / TABLE_DECIDES * 1e6
+    planner_us = planner_wall / PLANNER_DECIDES * 1e6
+    speedup = planner_us / table_us
+
+    # Chaos: seeded exceptions + in-memory corruption over a mixed stream;
+    # availability is the fraction of requests answered with a valid
+    # decision (the whole point of the degradation ladder: 100%).
+    requests = 80
+    plan = FaultPlan(seed=11, exception_rate=0.2, corrupt=6)
+    chaos_service = DecisionService(
+        registry,
+        [config],
+        planner_timeout=5.0,
+        breaker_cooldown=300.0,
+        injector=ServingFaultInjector(plan, requests),
+    )
+    valid = 0
+    started = time.perf_counter()
+    for index in range(requests):
+        served = chaos_service.decide(
+            fingerprint, signatures[index % len(signatures)]
+        )
+        if served.status == "ok" and served.decision.action.delay >= 0.0:
+            valid += 1
+    chaos_wall = time.perf_counter() - started
+    availability = valid / requests
+    counters = chaos_service.counters_snapshot()
+    non_default = counters["table_hits"] + counters["planner_fallbacks"]
+
+    table_printer(
+        format_table(
+            [
+                ExperimentRow(
+                    label="tier 1: table lookup",
+                    values={"wall_time (s)": table_wall, "us/decide": table_us,
+                            "decides": TABLE_DECIDES},
+                ),
+                ExperimentRow(
+                    label="tier 2: live planning",
+                    values={"wall_time (s)": planner_wall, "us/decide": planner_us,
+                            "decides": PLANNER_DECIDES},
+                ),
+                ExperimentRow(
+                    label="chaos (seeded faults)",
+                    values={"wall_time (s)": chaos_wall,
+                            "us/decide": chaos_wall / requests * 1e6,
+                            "decides": requests},
+                ),
+            ],
+            title=(
+                f"Policy serving: table tier {speedup:.0f}x over live planning, "
+                f"chaos availability {availability:.0%} "
+                f"({non_default}/{requests} off the safe default)"
+            ),
+        )
+    )
+
+    bench_record(
+        "serving",
+        entries={
+            "serving_table": (
+                {
+                    "wall_time_s": table_wall,
+                    "decisions": TABLE_DECIDES,
+                    "us_per_decide": table_us,
+                    "speedup_vs_planner": speedup,
+                },
+                {"path": "DecisionService tier 1: registry table lookup"},
+            ),
+            "serving_planner": (
+                {
+                    "wall_time_s": planner_wall,
+                    "decisions": PLANNER_DECIDES,
+                    "us_per_decide": planner_us,
+                },
+                {"path": "DecisionService tier 2: live planning fallback"},
+            ),
+            "serving_chaos": (
+                {
+                    "wall_time_s": chaos_wall,
+                    "decisions": requests,
+                    "availability": availability,
+                    "non_default_fraction": non_default / requests,
+                },
+                {
+                    "path": "DecisionService under seeded FaultPlan",
+                    "plan": plan.describe(),
+                },
+            ),
+        },
+        gates={
+            "serving_table.speedup_vs_planner": {"min": MIN_TABLE_SPEEDUP},
+            "serving_chaos.availability": {"min": 1.0},
+        },
+    )
+
+    assert availability == 1.0, (
+        f"{requests - valid} of {requests} chaos requests got no valid decision"
+    )
+    assert counters["errors"] == 0
+    assert non_default >= 0.6 * requests, (
+        f"only {non_default}/{requests} chaos requests avoided the safe default"
+    )
+    assert speedup >= MIN_TABLE_SPEEDUP, (
+        f"table tier only {speedup:.1f}x faster than live planning "
+        f"(target {MIN_TABLE_SPEEDUP:.0f}x)"
+    )

@@ -74,6 +74,25 @@ def signature_defaults(
     }
 
 
+def quarantine_file(root: Path, path: Path) -> Optional[Path]:
+    """Move an untrusted artifact into ``root/quarantine/`` (never delete it).
+
+    The one corruption-handling convention every fingerprint-keyed store
+    follows (:class:`~repro.runner.cache.ResultCache` entries, cached
+    policy tables, serving-registry artifacts): evidence of a torn write or
+    a stale schema is preserved for :mod:`repro.diagnostics` triage instead
+    of being silently unlinked.  Returns the destination, or ``None`` when
+    a racing reader already moved the file.
+    """
+    destination = Path(root) / "quarantine" / Path(path).name
+    try:
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(path, destination)
+    except OSError:  # pragma: no cover - racing reader already moved it
+        return None
+    return destination
+
+
 def atomic_write_text(path: Path, text: str) -> Path:
     """Write ``text`` to ``path`` atomically (last writer wins).
 

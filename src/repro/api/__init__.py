@@ -50,6 +50,10 @@ _LAZY_EXPORTS = {
         "repro.api.policy",
         "load_or_precompute_policy_table",
     ),
+    "decision_to_payload": ("repro.api.policy", "decision_to_payload"),
+    "decision_from_payload": ("repro.api.policy", "decision_from_payload"),
+    "signature_from_json": ("repro.api.policy", "signature_from_json"),
+    "table_quarantine_count": ("repro.api.policy", "table_quarantine_count"),
 }
 
 __all__ = [
@@ -65,8 +69,12 @@ __all__ = [
     "build_components",
     "build_sender",
     "canonical_digest",
+    "decision_from_payload",
+    "decision_to_payload",
     "load_or_precompute_policy_table",
     "precompute_policy_table",
+    "signature_from_json",
+    "table_quarantine_count",
 ]
 
 

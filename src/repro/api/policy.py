@@ -37,7 +37,7 @@ import json
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro._persist import atomic_write_text
+from repro._persist import atomic_write_text, quarantine_file
 
 from repro.core.actions import Action
 from repro.core.planner import Decision, ExpectedUtilityPlanner
@@ -51,6 +51,45 @@ TABLE_SCHEMA_VERSION = 1
 
 #: Sequence-number base for synthetic sweep sends, clear of any real run.
 _SWEEP_SEQ_BASE = 2_000_000
+
+
+def decision_to_payload(decision: Decision) -> dict:
+    """The canonical JSON-serializable form of one planner decision.
+
+    The same layout :meth:`PolicyTable.to_payload` stores per entry and the
+    serving layer puts on the wire, so a served decision deserializes
+    bit-identically to a table entry.
+    """
+    return {
+        "delay": decision.action.delay,
+        "horizon": decision.horizon,
+        "hypotheses_evaluated": decision.hypotheses_evaluated,
+        "expected_utilities": sorted(decision.expected_utilities.items()),
+    }
+
+
+def decision_from_payload(payload: dict) -> Decision:
+    """Rebuild a :class:`~repro.core.planner.Decision` from payload form."""
+    return Decision(
+        action=Action(float(payload["delay"])),
+        expected_utilities={
+            float(delay): float(value)
+            for delay, value in payload["expected_utilities"]
+        },
+        hypotheses_evaluated=int(payload["hypotheses_evaluated"]),
+        horizon=float(payload["horizon"]),
+    )
+
+
+def signature_from_json(value) -> tuple:
+    """A belief decision signature decoded from its JSON (nested-list) form.
+
+    JSON has no tuples, so a signature travelling through a table file or a
+    serving request arrives as nested lists; this restores the exact
+    hashable tuple :meth:`~repro.inference.belief.BeliefState.decision_signature`
+    produces, suitable for direct table lookup.
+    """
+    return _tuplify(value)
 
 
 class PolicyTable(PolicyCache):
@@ -159,21 +198,29 @@ class PolicyTable(PolicyCache):
         """Whether the belief's current signature has a precomputed decision."""
         return self._belief_key(belief) in self._cache
 
+    def decision_for(self, signature: tuple) -> Optional[Decision]:
+        """The precomputed decision stored under ``signature``, or ``None``.
+
+        The serving layer's tier-1 lookup: unlike :meth:`decide` this takes
+        the signature itself (a client computes it remotely and ships it
+        over the wire), consults no fallback planner, and touches no
+        hit/miss counters — the server keeps its own per-tier counters.
+        """
+        return self._cache.get(signature)
+
+    def signatures(self) -> list[tuple]:
+        """Every signature with a precomputed decision (serving workloads)."""
+        return list(self._cache)
+
     # ------------------------------------------------------------ serialization
 
     def to_payload(self) -> dict:
         """The canonical JSON-serializable form of this table."""
         entries = []
         for key, decision in self._cache.items():
-            entries.append(
-                {
-                    "key": key,
-                    "delay": decision.action.delay,
-                    "horizon": decision.horizon,
-                    "hypotheses_evaluated": decision.hypotheses_evaluated,
-                    "expected_utilities": sorted(decision.expected_utilities.items()),
-                }
-            )
+            entry = decision_to_payload(decision)
+            entry["key"] = key
+            entries.append(entry)
         return {
             "schema": TABLE_SCHEMA_VERSION,
             "fingerprint": self.fingerprint,
@@ -222,16 +269,7 @@ class PolicyTable(PolicyCache):
             max_entries=int(payload.get("max_entries", 65_536)),
         )
         for entry in payload["entries"]:
-            decision = Decision(
-                action=Action(float(entry["delay"])),
-                expected_utilities={
-                    float(delay): float(value)
-                    for delay, value in entry["expected_utilities"]
-                },
-                hypotheses_evaluated=int(entry["hypotheses_evaluated"]),
-                horizon=float(entry["horizon"]),
-            )
-            table._cache[_tuplify(entry["key"])] = decision
+            table._cache[_tuplify(entry["key"])] = decision_from_payload(entry)
         return table
 
     @classmethod
@@ -357,6 +395,22 @@ def precompute_policy_table(
 
 # --------------------------------------------------------- cross-run reuse
 
+#: Corrupt or mismatched cached table files moved to quarantine by this
+#: process (see :func:`table_quarantine_count`).
+_table_quarantines = 0
+
+
+def table_quarantine_count() -> int:
+    """How many cached policy-table files this process has quarantined.
+
+    Incremented by :func:`load_or_precompute_policy_table` whenever a
+    cached table fails to load (truncated JSON, stale schema, fingerprint
+    mismatch) and is moved to the cache's ``quarantine/`` directory — the
+    same never-silently-delete convention
+    :class:`~repro.runner.cache.ResultCache` follows.
+    """
+    return _table_quarantines
+
 
 def _effective_sweep_params(sweep_params: dict) -> dict:
     """``sweep_params`` with :func:`precompute_policy_table` defaults resolved.
@@ -413,7 +467,10 @@ def load_or_precompute_policy_table(
     parallel sweep workers racing on the same directory each end up with a
     complete table (last writer wins; the content is deterministic, so the
     winners are bit-identical).  A corrupted or fingerprint-mismatched file
-    is treated as absent and recomputed in place.
+    is moved to ``cache_dir/quarantine/`` (the
+    :class:`~repro.runner.cache.ResultCache` convention — never left in
+    place to be re-read, never silently deleted), counted on
+    :func:`table_quarantine_count`, and recomputed.
 
     The returned table carries ``loaded_from_cache`` (``True`` when it was
     read back rather than computed), which the cache-semantics tests and
@@ -432,9 +489,13 @@ def load_or_precompute_policy_table(
             table.loaded_from_cache = True
             return table
         except (ConfigurationError, OSError, ValueError, KeyError, TypeError):
-            # Unreadable, truncated, or stale-schema file: fall through and
-            # recompute over it — the cache must never poison a run.
-            pass
+            # Unreadable, truncated, or stale-schema file: quarantine the
+            # evidence and fall through to recompute — the cache must never
+            # poison a run, and a bad file must never linger to be re-read
+            # (and re-fail) by every later caller.
+            global _table_quarantines
+            _table_quarantines += 1
+            quarantine_file(Path(cache_dir), path)
 
     table = precompute_policy_table(config, prior, **precompute_kwargs)
     table.to_json(path)

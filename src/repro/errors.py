@@ -54,6 +54,41 @@ class UtilityError(ReproError):
     """A utility function received invalid parameters or inputs."""
 
 
+class ServingError(ReproError):
+    """Base class for failures in the online policy-serving layer."""
+
+
+class TableIntegrityError(ServingError):
+    """A stored policy-table artifact failed load-time validation.
+
+    Raised by the serving registry when a table file's content digest,
+    schema version, or config fingerprint does not match what its name and
+    the request promise.  The registry catches it, quarantines the file
+    (same convention as :class:`~repro.runner.cache.ResultCache`), and
+    treats the lookup as a miss — a corrupt artifact is never served.
+    """
+
+
+class CircuitOpenError(ServingError):
+    """The live-planner fallback is short-circuited by an open breaker.
+
+    Raised internally by :class:`~repro.serving.breaker.CircuitBreaker`
+    guards when consecutive planner failures have tripped the circuit; the
+    serving fallback chain catches it and degrades to the safe-default
+    tier instead of queueing more work behind a wedged planner.
+    """
+
+
+class OverloadedError(ServingError):
+    """The server shed this request under admission control.
+
+    Only raised client-side, and only when a
+    :class:`~repro.serving.server.PolicyClient` was constructed with
+    ``raise_on_overload=True``; the wire response itself still carries the
+    safe-default decision, so lenient callers always get an answer.
+    """
+
+
 class PointFailureError(ReproError):
     """A supervised sweep point exhausted its retries under ``strict`` mode.
 

@@ -37,11 +37,17 @@ fresh entry in the vacated slot.
 from __future__ import annotations
 
 import json
-import os
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional
 
-from repro._persist import CACHE_DIR_ENV, atomic_write_text, default_cache_dir
+from repro._persist import (
+    CACHE_DIR_ENV,
+    atomic_write_text,
+    default_cache_dir,
+    quarantine_file,
+)
 from repro._version import __version__
 from repro.api.config import canonical_digest
 from repro.runner.registry import DEFAULT_REGISTRY, ScenarioRegistry
@@ -51,6 +57,8 @@ from repro.runner.spec import ScenarioSpec
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
+    "CacheGCReport",
+    "CacheStats",
     "ResultCache",
     "default_cache_dir",
 ]
@@ -126,12 +134,7 @@ class ResultCache:
         """Move an unreadable entry aside (never silently delete it)."""
         self.invalid += 1
         self.corrupt += 1
-        destination = self.root / "quarantine" / path.name
-        try:
-            destination.parent.mkdir(parents=True, exist_ok=True)
-            os.replace(path, destination)
-        except OSError:  # pragma: no cover - racing reader already moved it
-            pass
+        quarantine_file(self.root, path)
 
     # ------------------------------------------------------------------ lookup
 
@@ -190,3 +193,114 @@ class ResultCache:
         path = atomic_write_text(self._path(key), text + "\n")
         self.stores += 1
         return path
+
+    # ------------------------------------------------------------ housekeeping
+
+    #: Subdirectories whose files are regenerable artifacts the GC may
+    #: prune.  The journal is deliberately excluded: it is the resume state
+    #: of a possibly-interrupted sweep, not a cache.
+    GC_SUBDIRS = ("results", "policy")
+
+    def artifact_files(self) -> Iterator[Path]:
+        """Every prunable artifact file (results and policy tables)."""
+        for subdir in self.GC_SUBDIRS:
+            base = self.root / subdir
+            if base.is_dir():
+                yield from sorted(p for p in base.rglob("*.json") if p.is_file())
+
+    def quarantine_files(self) -> Iterator[Path]:
+        """Every quarantined file (corrupt entries moved aside at read time)."""
+        base = self.root / "quarantine"
+        if base.is_dir():
+            yield from sorted(p for p in base.iterdir() if p.is_file())
+
+    def stats(self) -> "CacheStats":
+        """Sizes and ages of everything under the cache directory."""
+        stats = CacheStats(root=self.root)
+        now = time.time()
+        for path in self.artifact_files():
+            info = path.stat()
+            stats.entries += 1
+            stats.bytes += info.st_size
+            stats.oldest_age_s = max(stats.oldest_age_s, now - info.st_mtime)
+        for path in self.quarantine_files():
+            info = path.stat()
+            stats.quarantined += 1
+            stats.quarantined_bytes += info.st_size
+        return stats
+
+    def gc(
+        self,
+        *,
+        max_age_s: Optional[float] = None,
+        max_total_bytes: Optional[int] = None,
+        sweep_quarantine: bool = False,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> "CacheGCReport":
+        """Prune cached artifacts by age and total size; optionally sweep
+        the quarantine directory.
+
+        Age pruning removes every results/policy artifact older than
+        ``max_age_s``; size pruning then removes oldest-first until the
+        remainder fits ``max_total_bytes``.  Both criteria apply to the
+        regenerable stores only — the sweep journal is never touched.  The
+        ``quarantine/`` directory (which otherwise grows without bound, one
+        file per corruption ever observed) is emptied when
+        ``sweep_quarantine`` is set; its files have normally been triaged
+        by then.  ``dry_run`` reports what would be removed without
+        touching anything.  Concurrent readers are safe: a pruned entry
+        simply reads as a miss and is recomputed.
+        """
+        report = CacheGCReport(dry_run=dry_run)
+        clock = time.time() if now is None else now
+        survivors: list[tuple[float, Path, int]] = []
+        for path in self.artifact_files():
+            info = path.stat()
+            if max_age_s is not None and clock - info.st_mtime > max_age_s:
+                report.removed.append(path)
+                report.freed_bytes += info.st_size
+            else:
+                survivors.append((info.st_mtime, path, info.st_size))
+        if max_total_bytes is not None:
+            survivors.sort()  # oldest first
+            total = sum(size for _, _, size in survivors)
+            while survivors and total > max_total_bytes:
+                _, path, size = survivors.pop(0)
+                report.removed.append(path)
+                report.freed_bytes += size
+                total -= size
+        if sweep_quarantine:
+            for path in self.quarantine_files():
+                report.quarantine_removed.append(path)
+                report.quarantine_freed_bytes += path.stat().st_size
+        if not dry_run:
+            for path in report.removed + report.quarantine_removed:
+                try:
+                    path.unlink()
+                except FileNotFoundError:  # pragma: no cover - racing GC
+                    pass
+        return report
+
+
+@dataclass
+class CacheStats:
+    """What ``python -m repro.runner cache list`` reports."""
+
+    root: Path
+    entries: int = 0
+    bytes: int = 0
+    quarantined: int = 0
+    quarantined_bytes: int = 0
+    oldest_age_s: float = 0.0
+
+
+@dataclass
+class CacheGCReport:
+    """What a :meth:`ResultCache.gc` pass removed (or would remove)."""
+
+    dry_run: bool = False
+    removed: list[Path] = field(default_factory=list)
+    freed_bytes: int = 0
+    quarantine_removed: list[Path] = field(default_factory=list)
+    quarantine_freed_bytes: int = 0

@@ -179,6 +179,45 @@ def build_parser() -> argparse.ArgumentParser:
             "'exception=0.1,kills=2,hangs=1,seed=7' or targeted 'kill@3'"
         ),
     )
+
+    cache = commands.add_parser(
+        "cache", help="inspect and garbage-collect the result cache"
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=f"cache directory (default: ${CACHE_DIR_ENV} when set)",
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_commands.add_parser("list", help="report entry counts, sizes, and ages")
+    prune = cache_commands.add_parser(
+        "prune", help="remove entries by age and total size"
+    )
+    prune.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="remove results/policy artifacts older than DAYS",
+    )
+    prune.add_argument(
+        "--max-size-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="then remove oldest-first until the cache fits MB",
+    )
+    prune.add_argument(
+        "--sweep-quarantine",
+        action="store_true",
+        help="also empty the quarantine/ directory of triaged corrupt files",
+    )
+    prune.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without touching anything",
+    )
     return parser
 
 
@@ -275,6 +314,67 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if store.quarantined else 0
 
 
+def _format_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:.1f} {unit}" if unit != "B" else f"{int(count)} B"
+        count /= 1024
+    return f"{int(count)} B"  # pragma: no cover - unreachable
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    if cache_dir is None:
+        raise ConfigurationError(
+            f"no cache directory: pass --cache-dir or set ${CACHE_DIR_ENV}"
+        )
+    cache = ResultCache(cache_dir)
+
+    if args.cache_command == "list":
+        stats = cache.stats()
+        print(f"cache: {stats.root}")
+        print(f"entries: {stats.entries} ({_format_bytes(stats.bytes)})")
+        print(
+            f"quarantined: {stats.quarantined} "
+            f"({_format_bytes(stats.quarantined_bytes)})"
+        )
+        print(f"oldest entry: {stats.oldest_age_s / 86_400.0:.1f} day(s)")
+        return 0
+
+    if (
+        args.max_age_days is None
+        and args.max_size_mb is None
+        and not args.sweep_quarantine
+    ):
+        raise ConfigurationError(
+            "cache prune needs at least one criterion: --max-age-days, "
+            "--max-size-mb, or --sweep-quarantine"
+        )
+    if args.max_age_days is not None and args.max_age_days < 0:
+        raise ConfigurationError("--max-age-days must be >= 0")
+    if args.max_size_mb is not None and args.max_size_mb < 0:
+        raise ConfigurationError("--max-size-mb must be >= 0")
+    report = cache.gc(
+        max_age_s=args.max_age_days * 86_400.0 if args.max_age_days is not None else None,
+        max_total_bytes=int(args.max_size_mb * 1024 * 1024)
+        if args.max_size_mb is not None
+        else None,
+        sweep_quarantine=args.sweep_quarantine,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if report.dry_run else "removed"
+    print(
+        f"{verb}: {len(report.removed)} entr(ies), "
+        f"{_format_bytes(report.freed_bytes)} freed"
+    )
+    if args.sweep_quarantine:
+        print(
+            f"quarantine {verb}: {len(report.quarantine_removed)} file(s), "
+            f"{_format_bytes(report.quarantine_freed_bytes)} freed"
+        )
+    return 0
+
+
 def _build_supervision(args: argparse.Namespace) -> Optional[Supervision]:
     """The :class:`Supervision` the flags ask for, or ``None`` (fast path).
 
@@ -315,8 +415,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error("--list cannot be combined with the 'run' command")
         if args.command == "list" or args.list_scenarios:
             return _cmd_list()
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command is None:
-            parser.error("a command is required (list, run) unless --list is given")
+            parser.error("a command is required (list, run, cache) unless --list is given")
         return _cmd_run(args)
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -94,10 +94,10 @@ class PointFault:
         if self.index is None and self.label is None:
             raise ConfigurationError("a PointFault needs an index or a label")
 
-    def matches(self, index: int, spec: ScenarioSpec) -> bool:
+    def matches(self, index: int, label: str) -> bool:
         if self.index is not None:
             return index == self.index
-        return spec.label == self.label
+        return label == self.label
 
 
 @dataclass(frozen=True)
@@ -183,14 +183,31 @@ class FaultPlan:
         fault (corruption is independent — it happens after a successful
         execution and may coexist).
         """
+        return self._assign(
+            [spec.label for spec in specs], [spec.canonical() for spec in specs]
+        )
+
+    def assign_keys(self, keys: Sequence[str]) -> FaultAssignment:
+        """Resolve the plan against abstract slots named by ``keys``.
+
+        The serving layer's chaos mode uses this to arm faults over a
+        stream of *request indices* instead of grid points: same targeted /
+        count-based / rate-based resolution as :meth:`assign`, with each
+        key playing both the label (for ``kind@label`` targets) and the
+        canonical identity (for the rate-based exception hash).
+        """
+        keys = [str(key) for key in keys]
+        return self._assign(keys, keys)
+
+    def _assign(self, labels: Sequence[str], keys: Sequence[str]) -> FaultAssignment:
         taken: dict[int, PointFault] = {}
         corrupt: set[int] = set()
         for target in self.targets:
-            matched = [i for i, spec in enumerate(specs) if target.matches(i, spec)]
+            matched = [i for i, label in enumerate(labels) if target.matches(i, label)]
             if not matched:
                 raise ConfigurationError(
                     f"fault target {target.kind!r}@{target.index if target.index is not None else target.label!r} "
-                    f"matches no point of the {len(specs)}-spec grid"
+                    f"matches no point of the {len(labels)}-slot grid"
                 )
             for index in matched:
                 if target.kind == "corrupt":
@@ -200,7 +217,7 @@ class FaultPlan:
 
         rng = random.Random(f"repro.runner.faults:{self.seed}")
         for kind, count in (("kill", self.kills), ("hang", self.hangs)):
-            free = [i for i in range(len(specs)) if i not in taken]
+            free = [i for i in range(len(labels)) if i not in taken]
             if count > len(free):
                 raise ConfigurationError(
                     f"plan wants {count} {kind} fault(s) but only {len(free)} "
@@ -210,14 +227,14 @@ class FaultPlan:
                 taken[index] = PointFault(kind=kind, index=index)
 
         if self.exception_rate > 0.0:
-            for index, spec in enumerate(specs):
+            for index, key in enumerate(keys):
                 if index in taken:
                     continue
-                if _point_uniform(self.seed, "exception", spec.canonical()) < self.exception_rate:
+                if _point_uniform(self.seed, "exception", key) < self.exception_rate:
                     taken[index] = PointFault(kind="exception", index=index)
 
         if self.corrupt:
-            pool = sorted(set(range(len(specs))) - corrupt)
+            pool = sorted(set(range(len(labels))) - corrupt)
             if self.corrupt > len(pool):
                 raise ConfigurationError(
                     f"plan wants {self.corrupt} corrupt cache entr(ies) but the "

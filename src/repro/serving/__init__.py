@@ -1,0 +1,60 @@
+"""``repro.serving`` — the resilient policy-serving subsystem.
+
+The online half of the paper's §3.3 "policy computed in advance": a
+:class:`~repro.serving.server.PolicyServer` answers
+``decide(config_fingerprint, decision_signature)`` lookups over loopback
+HTTP through a tiered degradation ladder —
+
+1. versioned, content-addressed policy-table registry
+   (:class:`~repro.serving.registry.PolicyTableRegistry`, hot-reloadable,
+   corrupt artifacts quarantined and never served);
+2. live :class:`~repro.core.planner.ExpectedUtilityPlanner` fallback
+   behind a per-config :class:`~repro.serving.breaker.CircuitBreaker`;
+3. a documented safe-default action
+   (:func:`~repro.serving.fallback.safe_default_decision`)
+
+— with admission control (bounded in-flight requests, explicit
+``overloaded`` shed responses that still carry a valid decision), health
+probes, per-tier counters, and a seeded chaos mode
+(:class:`~repro.serving.chaos.ServingFaultInjector`) reusing the runner's
+:class:`~repro.runner.faults.FaultPlan` vocabulary.
+
+::
+
+    python -m repro.serving publish --registry ./registry --preset small
+    python -m repro.serving serve --registry ./registry --preset small
+
+See the README's "Serving" section for the degradation ladder, counter
+semantics, and exit codes.
+"""
+
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.chaos import SERVING_FAULT_KINDS, RequestFaults, ServingFaultInjector
+from repro.serving.fallback import (
+    DecisionService,
+    ServedDecision,
+    ServingCounters,
+    belief_from_signature,
+    safe_default_decision,
+)
+from repro.serving.health import healthz_payload, readyz_payload
+from repro.serving.registry import PolicyTableRegistry, content_digest
+from repro.serving.server import PolicyClient, PolicyServer
+
+__all__ = [
+    "SERVING_FAULT_KINDS",
+    "CircuitBreaker",
+    "DecisionService",
+    "PolicyClient",
+    "PolicyServer",
+    "PolicyTableRegistry",
+    "RequestFaults",
+    "ServedDecision",
+    "ServingCounters",
+    "ServingFaultInjector",
+    "belief_from_signature",
+    "content_digest",
+    "healthz_payload",
+    "readyz_payload",
+    "safe_default_decision",
+]

@@ -1,0 +1,332 @@
+"""Command-line entry point for the policy-serving subsystem.
+
+::
+
+    python -m repro.serving publish --registry ./registry --preset small
+    python -m repro.serving serve --registry ./registry --preset small --port 8787
+    python -m repro.serving workload --registry ./registry --preset small \
+        --requests 200 --fallback-fraction 0.2 \
+        --inject-faults "exception=0.1,hangs=2,corrupt=3,seed=7"
+
+``publish`` precomputes a preset's policy table and publishes it into the
+registry (idempotent, content-addressed).  ``serve`` runs the HTTP server
+until interrupted.  ``workload`` is the self-contained smoke/acceptance
+driver: it starts a server in-process, pushes a mixed table-hit /
+planner-fallback request stream through real HTTP clients (optionally under
+a seeded chaos plan), validates **every** response, and prints the counter
+block CI greps — exiting 0 only when 100 % of requests received a valid
+decision.
+
+Exit codes: 0 success, 1 workload responses invalid, 2 configuration
+error, 130 interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import math
+import sys
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.api.config import SenderConfig
+from repro.api.policy import precompute_policy_table
+from repro.errors import ConfigurationError, ReproError
+from repro.inference.prior import figure3_prior, single_link_prior
+from repro.runner.faults import FaultPlan
+from repro.serving.chaos import ServingFaultInjector
+from repro.serving.fallback import TIERS, DecisionService
+from repro.serving.registry import PolicyTableRegistry
+from repro.serving.server import PolicyClient, PolicyServer
+
+#: Preset table-building recipes: (config, precompute kwargs).  ``small``
+#: is the CI-speed recipe (the test suite's fast-config pattern);
+#: ``figure3`` is the paper-calibration table.
+PRESETS = ("small", "figure3")
+
+
+def preset_config(name: str) -> tuple[SenderConfig, dict]:
+    if name == "small":
+        config = SenderConfig(
+            prior=single_link_prior(link_rate_points=2, fill_points=1),
+            top_k=4,
+            max_hypotheses=32,
+            belief_backend="vectorized",
+            rollout_backend="vectorized",
+            policy="table",
+        )
+        return config, {"pilot_duration": 5.0, "burst_levels": (0, 2)}
+    if name == "figure3":
+        config = SenderConfig(
+            prior=figure3_prior(
+                link_rate_points=2, cross_fraction_points=2, loss_points=2,
+                buffer_points=2, fill_points=1,
+            ),
+            belief_backend="vectorized",
+            rollout_backend="vectorized",
+            policy="table",
+        )
+        return config, {"pilot_duration": 10.0}
+    raise ConfigurationError(
+        f"unknown preset {name!r}; known presets: {', '.join(PRESETS)}"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="Publish, serve, and smoke-test precomputed policy tables.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--registry", required=True, metavar="DIR",
+            help="policy-table registry directory",
+        )
+        sub.add_argument(
+            "--preset", choices=PRESETS, default="small",
+            help="table/config preset (default small)",
+        )
+        sub.add_argument("--seed", type=int, default=1, help="precompute seed")
+
+    publish = commands.add_parser(
+        "publish", help="precompute a preset's policy table and publish it"
+    )
+    add_common(publish)
+
+    serve = commands.add_parser("serve", help="serve decisions over loopback HTTP")
+    add_common(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument(
+        "--max-pending", type=int, default=32,
+        help="admission-control bound on in-flight decisions (default 32)",
+    )
+    serve.add_argument(
+        "--planner-timeout", type=float, default=2.0,
+        help="seconds a live-planning fallback may run (default 2)",
+    )
+
+    workload = commands.add_parser(
+        "workload",
+        help="start a server in-process and drive a validated mixed workload",
+    )
+    add_common(workload)
+    workload.add_argument(
+        "--requests", type=int, default=100, help="requests to issue (default 100)"
+    )
+    workload.add_argument(
+        "--fallback-fraction", type=float, default=0.0, metavar="F",
+        help="fraction of requests aimed off-table at the live-planner tier",
+    )
+    workload.add_argument(
+        "--concurrency", type=int, default=4,
+        help="concurrent client connections (default 4)",
+    )
+    workload.add_argument(
+        "--max-pending", type=int, default=32,
+        help="admission-control bound on in-flight decisions (default 32)",
+    )
+    workload.add_argument(
+        "--planner-timeout", type=float, default=1.0,
+        help="seconds a live-planning fallback may run (default 1)",
+    )
+    workload.add_argument(
+        "--inject-faults", default=None, metavar="PLAN",
+        help=(
+            "chaos-test the stream with a seeded fault plan, e.g. "
+            "'exception=0.1,hangs=2,corrupt=3,seed=7' (serving kinds: "
+            "exception, hang, corrupt; hang_seconds is capped near the "
+            "planner timeout unless set explicitly)"
+        ),
+    )
+    return parser
+
+
+# ------------------------------------------------------------------- commands
+
+
+def _cmd_publish(args: argparse.Namespace) -> int:
+    config, precompute_kwargs = preset_config(args.preset)
+    table = precompute_policy_table(config, seed=args.seed, **precompute_kwargs)
+    registry = PolicyTableRegistry(args.registry)
+    path = registry.publish(table)
+    digest = registry.current_digest(table.fingerprint)
+    print(f"published preset {args.preset!r}: {table.size} entries")
+    print(f"fingerprint: {table.fingerprint}")
+    print(f"version: {digest} -> {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    config, _ = preset_config(args.preset)
+    registry = PolicyTableRegistry(args.registry)
+    service = DecisionService(
+        registry, [config], planner_timeout=args.planner_timeout
+    )
+    server = PolicyServer(
+        service, host=args.host, port=args.port, max_pending=args.max_pending
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(fingerprint {config.fingerprint()})")
+        sys.stdout.flush()
+        await server.serve_forever()
+
+    asyncio.run(run())
+    return 0
+
+
+def _workload_signatures(
+    table, requests: int, fallback_fraction: float
+) -> list[tuple]:
+    """The request stream: table signatures, a slice retargeted off-table.
+
+    Off-table requests take a real signature and push its queue-backlog
+    component beyond anything the table holds, so tier 1 misses and tier 2
+    must plan live on the reconstructed belief — the degradation path the
+    workload is there to exercise.
+    """
+    known = table.signatures()
+    if not known:
+        raise ConfigurationError(
+            "the published table is empty; re-publish the preset"
+        )
+    max_rounds = max(
+        max((row[3] for row in signature), default=0) for signature in known
+    )
+    stream: list[tuple] = []
+    fallback_every = 1 / fallback_fraction if fallback_fraction > 0 else math.inf
+    next_fallback = fallback_every
+    for index in range(requests):
+        base = known[index % len(known)]
+        if index + 1 >= next_fallback:
+            next_fallback += fallback_every
+            retargeted = tuple(
+                (row[0], row[1], row[2], max_rounds + 1 + (index % 3), True)
+                for row in base
+            )
+            stream.append(retargeted)
+        else:
+            stream.append(base)
+    return stream
+
+
+def _valid_response(payload: dict) -> bool:
+    if payload.get("status") not in ("ok", "overloaded"):
+        return False
+    if payload.get("tier") not in TIERS:
+        return False
+    decision = payload.get("decision")
+    if not isinstance(decision, dict):
+        return False
+    delay = decision.get("delay")
+    return isinstance(delay, (int, float)) and math.isfinite(delay) and delay >= 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    if args.requests < 1:
+        raise ConfigurationError("--requests must be at least 1")
+    if not 0.0 <= args.fallback_fraction <= 1.0:
+        raise ConfigurationError("--fallback-fraction must be in [0, 1]")
+    config, precompute_kwargs = preset_config(args.preset)
+    registry = PolicyTableRegistry(args.registry)
+    table = registry.lookup(config.fingerprint())
+    if table is None:
+        raise ConfigurationError(
+            f"no published table for preset {args.preset!r} in {args.registry}; "
+            "run 'python -m repro.serving publish' first"
+        )
+
+    injector: Optional[ServingFaultInjector] = None
+    if args.inject_faults:
+        plan = FaultPlan.parse(args.inject_faults)
+        if "hang_seconds" not in args.inject_faults:
+            # An abandoned hang outlives the workload on its daemon thread;
+            # keep the default stall just long enough to trip the planner
+            # timeout so the process exits as soon as the stream drains.
+            plan = replace(plan, hang_seconds=args.planner_timeout * 3)
+        injector = ServingFaultInjector(plan, args.requests)
+
+    service = DecisionService(
+        registry,
+        [config],
+        planner_timeout=args.planner_timeout,
+        injector=injector,
+    )
+    server = PolicyServer(service, max_pending=args.max_pending)
+    signatures = _workload_signatures(table, args.requests, args.fallback_fraction)
+    fingerprint = config.fingerprint()
+    invalid = 0
+    tier_counts = dict.fromkeys(TIERS, 0)
+    overloaded = 0
+
+    async def run() -> None:
+        nonlocal invalid, overloaded
+        await server.start()
+        queue: asyncio.Queue[tuple] = asyncio.Queue()
+        for signature in signatures:
+            queue.put_nowait(signature)
+
+        async def worker() -> None:
+            nonlocal invalid, overloaded
+            client = PolicyClient(port=server.port)
+            try:
+                while True:
+                    try:
+                        signature = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    payload = await client.decide(fingerprint, signature)
+                    if _valid_response(payload):
+                        tier_counts[payload["tier"]] += 1
+                        if payload["status"] == "overloaded":
+                            overloaded += 1
+                    else:
+                        invalid += 1
+            finally:
+                await client.close()
+
+        await asyncio.gather(*(worker() for _ in range(max(1, args.concurrency))))
+        await server.stop()
+
+    asyncio.run(run())
+
+    counters = service.counters_snapshot()
+    print(f"workload: {args.requests} request(s), preset {args.preset!r}"
+          + (f", faults {injector.plan.describe()!r}" if injector else ""))
+    for name in (
+        "requests", "table_hits", "table_misses", "table_corrupt",
+        "planner_fallbacks", "planner_failures", "breaker_open",
+        "default_served", "shed",
+    ):
+        print(f"{name}: {counters[name]}")
+    print(f"tiers: " + ", ".join(f"{tier}={tier_counts[tier]}" for tier in TIERS))
+    print(f"overloaded: {overloaded}")
+    print(f"errors: {invalid + counters['errors']}")
+    return 0 if invalid == 0 and counters["errors"] == 0 else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "publish":
+            return _cmd_publish(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        return _cmd_workload(args)
+    except (ConfigurationError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""Liveness and readiness probes for the policy server.
+
+Two distinct questions, per the usual orchestration contract:
+
+* ``/healthz`` — *is the process alive?*  Always ``ok`` while the event
+  loop can answer at all; a hung or dead server simply fails to respond,
+  which is the signal.
+* ``/readyz`` — *should this instance receive traffic?*  Ready means the
+  degradation ladder has a first rung (at least one published table, or a
+  live-plannable config) **and** admission control has headroom (pending
+  requests below the shed threshold).  A server that would shed or
+  safe-default everything it receives reports 503 so a load balancer can
+  prefer a healthier peer — while still answering anything that arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["healthz_payload", "readyz_payload"]
+
+
+def healthz_payload(uptime_s: float) -> dict:
+    """The liveness body: alive, and for how long."""
+    return {"status": "ok", "uptime_s": round(uptime_s, 3)}
+
+
+def readyz_payload(
+    *,
+    tables: int,
+    configs: int,
+    pending: int,
+    max_pending: int,
+    breaker_states: Optional[dict[str, str]] = None,
+) -> tuple[bool, dict]:
+    """The readiness verdict and body.
+
+    Returns ``(ready, payload)``; the transport maps ``ready`` to 200/503.
+    """
+    reasons = []
+    if tables == 0 and configs == 0:
+        reasons.append("no published tables and no live-plannable configs")
+    if pending >= max_pending:
+        reasons.append(f"admission control saturated ({pending}/{max_pending})")
+    payload = {
+        "status": "ready" if not reasons else "unready",
+        "tables": tables,
+        "configs": configs,
+        "pending": pending,
+        "max_pending": max_pending,
+    }
+    if breaker_states:
+        payload["breakers"] = dict(sorted(breaker_states.items()))
+    if reasons:
+        payload["reasons"] = reasons
+    return (not reasons, payload)

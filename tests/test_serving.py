@@ -1,0 +1,855 @@
+"""Serving-subsystem suite: registry, breaker, fallback chain, chaos.
+
+The contract under test is the degradation ladder: a request for a
+``(config_fingerprint, decision_signature)`` pair must always receive a
+valid decision — bit-identical to the published
+:class:`~repro.api.policy.PolicyTable` on a table hit, equal (to float
+tolerance) to a direct :class:`~repro.core.planner.ExpectedUtilityPlanner`
+run on a planner fallback, and the documented safe default when everything
+else is on fire.  The chaos acceptance test drives a seeded
+:class:`~repro.runner.faults.FaultPlan` through the service and checks the
+per-tier counters against an independent reference walk of the same plan.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api.config import SenderConfig
+from repro.api.policy import decision_from_payload, decision_to_payload, precompute_policy_table
+from repro.errors import (
+    ConfigurationError,
+    OverloadedError,
+    ServingError,
+    TableIntegrityError,
+)
+from repro.inference import single_link_prior
+from repro.runner.faults import FaultPlan
+from repro.runner.supervise import Supervision
+from repro.serving import (
+    CircuitBreaker,
+    DecisionService,
+    PolicyClient,
+    PolicyServer,
+    PolicyTableRegistry,
+    ServingFaultInjector,
+    belief_from_signature,
+    content_digest,
+    safe_default_decision,
+)
+from repro.serving.fallback import DEFAULT_SAFE_DELAY
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def fast_config(**overrides) -> SenderConfig:
+    """The suite's sub-second sender config (the fast-test pattern)."""
+    defaults = dict(
+        prior=single_link_prior(link_rate_points=2, fill_points=1),
+        top_k=4,
+        max_hypotheses=32,
+        belief_backend="vectorized",
+        rollout_backend="vectorized",
+        policy="table",
+    )
+    defaults.update(overrides)
+    return SenderConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def published():
+    """One precomputed table, published into a module-lifetime registry."""
+    import tempfile
+
+    config = fast_config()
+    table = precompute_policy_table(
+        config, pilot_duration=5.0, burst_levels=(0, 2), seed=2
+    )
+    root = tempfile.mkdtemp(prefix="repro-serving-")
+    registry = PolicyTableRegistry(root)
+    registry.publish(table)
+    return config, table, registry
+
+
+def off_table_signature(table, bump: int = 1) -> tuple:
+    """A well-formed signature the table does not hold (forces tier 2)."""
+    base = table.signatures()[0]
+    max_rounds = max(
+        max((row[3] for row in signature), default=0)
+        for signature in table.signatures()
+    )
+    return tuple(
+        (row[0], row[1], row[2], max_rounds + bump, True) for row in base
+    )
+
+
+# ---------------------------------------------------------------- registry
+
+
+class TestRegistry:
+    def test_publish_and_lookup_round_trip(self, tmp_path):
+        config = fast_config()
+        table = precompute_policy_table(
+            config, pilot_duration=5.0, burst_levels=(0, 2), seed=2
+        )
+        registry = PolicyTableRegistry(tmp_path)
+        path = registry.publish(table)
+        assert path.exists()
+        loaded = registry.lookup(config.fingerprint())
+        assert loaded is not None
+        assert loaded.size == table.size
+        for signature in table.signatures():
+            assert loaded.decision_for(signature) == table.decision_for(signature)
+
+    def test_publish_is_idempotent_and_content_addressed(self, published, tmp_path):
+        config, table, _ = published
+        registry = PolicyTableRegistry(tmp_path)
+        first = registry.publish(table)
+        second = registry.publish(table)
+        assert first == second
+        digest = registry.current_digest(config.fingerprint())
+        assert first.stem == digest
+        assert content_digest(first.read_bytes()) == digest
+        assert registry.versions(config.fingerprint()) == [digest]
+
+    def test_lookup_unpublished_fingerprint_misses(self, tmp_path):
+        registry = PolicyTableRegistry(tmp_path)
+        assert registry.lookup("cafecafecafecafe") is None
+        assert registry.fingerprints() == []
+
+    def test_corrupt_version_is_quarantined_never_served(self, tmp_path):
+        config = fast_config()
+        table = precompute_policy_table(
+            config, pilot_duration=5.0, burst_levels=(0, 2), seed=2
+        )
+        registry = PolicyTableRegistry(tmp_path)
+        path = registry.publish(table)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # torn write
+
+        assert registry.lookup(config.fingerprint()) is None
+        assert registry.corrupt == 1
+        assert not path.exists()
+        quarantined = tmp_path / "quarantine" / path.name
+        assert quarantined.exists()
+
+    def test_schema_mismatch_is_quarantined(self, tmp_path):
+        config = fast_config()
+        table = precompute_policy_table(
+            config, pilot_duration=5.0, burst_levels=(0, 2), seed=2
+        )
+        registry = PolicyTableRegistry(tmp_path)
+        path = registry.publish(table)
+        payload = json.loads(path.read_text())
+        payload["schema"] = 999
+        text = json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        # Re-address the tampered bytes so the digest check passes and the
+        # schema check is what fires.
+        tampered = path.with_name(content_digest(text.encode()) + ".json")
+        tampered.write_text(text)
+        (path.parent / "CURRENT").write_text(tampered.stem + "\n")
+
+        assert registry.lookup(config.fingerprint()) is None
+        assert registry.corrupt == 1
+        assert (tmp_path / "quarantine" / tampered.name).exists()
+
+    def test_fingerprint_mismatch_is_quarantined(self, published, tmp_path):
+        config, table, _ = published
+        registry = PolicyTableRegistry(tmp_path)
+        path = registry.publish(table)
+        imposter_dir = tmp_path / "tables" / "deadbeefdeadbeef"
+        imposter_dir.mkdir(parents=True)
+        (imposter_dir / path.name).write_bytes(path.read_bytes())
+        (imposter_dir / "CURRENT").write_text(path.stem + "\n")
+
+        assert registry.lookup("deadbeefdeadbeef") is None
+        assert registry.corrupt == 1
+        # The real fingerprint still serves.
+        assert registry.lookup(config.fingerprint()) is not None
+
+    def test_dangling_current_pointer_reads_as_miss(self, tmp_path):
+        config = fast_config()
+        table = precompute_policy_table(
+            config, pilot_duration=5.0, burst_levels=(0, 2), seed=2
+        )
+        registry = PolicyTableRegistry(tmp_path)
+        path = registry.publish(table)
+        path.unlink()
+        assert registry.lookup(config.fingerprint()) is None
+        assert registry.corrupt == 0  # a miss, not corruption
+
+    def test_republish_hot_reloads_without_restart(self, tmp_path):
+        config = fast_config()
+        first = precompute_policy_table(
+            config, pilot_duration=5.0, burst_levels=(0, 2), seed=2
+        )
+        second = precompute_policy_table(
+            config, pilot_duration=5.0, burst_levels=(0, 1, 2), seed=3
+        )
+        registry = PolicyTableRegistry(tmp_path)
+        registry.publish(first)
+        served = registry.lookup(config.fingerprint())
+        assert served is not None and served.size == first.size
+
+        registry.publish(second)  # no restart, no reload() call
+        served = registry.lookup(config.fingerprint())
+        assert served is not None and served.size == second.size
+        assert len(registry.versions(config.fingerprint())) == 2
+
+    def test_publish_without_fingerprint_is_rejected(self, tmp_path):
+        from repro.api.policy import PolicyTable
+
+        table = PolicyTable(top_k=4)
+        with pytest.raises(TableIntegrityError, match="without a config fingerprint"):
+            PolicyTableRegistry(tmp_path).publish(table)
+
+
+# ----------------------------------------------------------------- breaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs) -> tuple[CircuitBreaker, FakeClock]:
+        clock = FakeClock()
+        defaults = dict(failure_threshold=3, cooldown=2.0, seed=5, clock=clock)
+        defaults.update(kwargs)
+        return CircuitBreaker("cfg", **defaults), clock
+
+    def test_trips_after_consecutive_failures(self):
+        breaker, _ = self.make()
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.cooldown_remaining() > 0
+        clock.now = breaker.cooldown_remaining() + 0.001
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # held until the probe reports
+
+    def test_successful_probe_closes_failed_probe_reopens_longer(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        first_cooldown = breaker.cooldown_remaining()
+        clock.now += first_cooldown + 0.001
+        assert breaker.allow()
+        breaker.record_failure()  # failed probe: reopen, backoff doubled
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        second_cooldown = breaker.cooldown_remaining()
+        assert second_cooldown > first_cooldown
+
+        clock.now += second_cooldown + 0.001
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_cooldowns_reuse_supervision_backoff(self):
+        """The open-state cooldown is exactly the runner's retry delay."""
+        breaker, clock = self.make(cooldown=2.0, seed=5)
+        for _ in range(3):
+            breaker.record_failure()
+        expected = Supervision(backoff=2.0, backoff_cap=300.0, jitter=0.5, seed=5).delay(
+            "breaker:cfg", 1
+        )
+        assert breaker.cooldown_remaining() == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown=0.0)
+
+
+# --------------------------------------------------- belief reconstruction
+
+
+class TestBeliefFromSignature:
+    def test_round_trip_reproduces_the_signature(self):
+        config = fast_config()
+        belief = config.build_belief()
+        belief.record_send(0, config.packet_bits, 0.0)
+        belief.record_send(1, config.packet_bits, 0.05)
+        belief.update(0.4)
+        resolution = config.policy_resolution_bits
+        signature = belief.decision_signature(config.top_k, resolution)
+
+        rebuilt = belief_from_signature(
+            signature, queue_resolution_bits=resolution, now=0.4
+        )
+        again = rebuilt.decision_signature(config.top_k, resolution)
+        assert len(again) == len(signature)
+        for row, row2 in zip(signature, again):
+            assert row2[0] == row[0]  # params
+            assert row2[1] == pytest.approx(row[1], abs=1.5e-3)  # weight
+            assert row2[2] == row[2]  # gate
+            assert row2[3] == row[3]  # backlog rounds
+            assert row2[4] == row[4]  # busy
+
+    def test_idle_rows_come_back_idle(self):
+        config = fast_config()
+        belief = config.build_belief()
+        resolution = config.policy_resolution_bits
+        signature = belief.decision_signature(config.top_k, resolution)
+        assert all(not row[4] for row in signature)
+        rebuilt = belief_from_signature(signature, queue_resolution_bits=resolution)
+        assert rebuilt.decision_signature(config.top_k, resolution) == signature
+
+    def test_empty_signature_is_rejected(self):
+        with pytest.raises(ServingError, match="empty signature"):
+            belief_from_signature((), queue_resolution_bits=3_000.0)
+
+    def test_malformed_row_is_rejected(self):
+        with pytest.raises(ServingError, match="malformed signature row"):
+            belief_from_signature(
+                (("not", "a", "row"),), queue_resolution_bits=3_000.0
+            )
+
+
+# ----------------------------------------------------- the fallback chain
+
+
+class TestDecisionServiceTiers:
+    def test_tier1_is_bit_identical_to_direct_table_lookup(self, published):
+        config, table, registry = published
+        service = DecisionService(registry, [config])
+        for signature in table.signatures():
+            served = service.decide(config.fingerprint(), signature)
+            assert served.status == "ok"
+            assert served.tier == "table"
+            assert served.decision == table.decision_for(signature)
+        counters = service.counters_snapshot()
+        assert counters["table_hits"] == len(table.signatures())
+        assert counters["errors"] == 0
+
+    def test_tier2_matches_direct_planner_on_reconstructed_belief(self, published):
+        config, table, registry = published
+        service = DecisionService(registry, [config], planner_timeout=30.0)
+        signature = off_table_signature(table)
+        served = service.decide(config.fingerprint(), signature, now=5.0)
+        assert served.tier == "planner"
+
+        planner = config.build_planner()
+        direct = planner.decide(
+            belief_from_signature(
+                signature,
+                queue_resolution_bits=table.queue_resolution_bits,
+                now=5.0,
+            ),
+            5.0,
+        )
+        assert served.decision.action.delay == pytest.approx(
+            direct.action.delay, rel=1e-9
+        )
+        assert served.decision.horizon == pytest.approx(direct.horizon, rel=1e-9)
+        assert set(served.decision.expected_utilities) == set(direct.expected_utilities)
+        for delay, utility in direct.expected_utilities.items():
+            assert served.decision.expected_utilities[delay] == pytest.approx(
+                utility, rel=1e-9
+            )
+
+    def test_tier3_unknown_fingerprint_serves_global_default(self, published):
+        _, table, registry = published
+        service = DecisionService(registry, [])
+        served = service.decide("0000000000000000", table.signatures()[0])
+        assert served.tier == "default"
+        assert served.status == "ok"
+        assert not served.known_config
+        assert served.decision.action.delay == DEFAULT_SAFE_DELAY
+
+    def test_tier3_when_planner_always_fails(self, published, tmp_path):
+        """All planner attempts fail -> breaker opens -> defaults served."""
+        config, table, _ = published
+        empty = PolicyTableRegistry(tmp_path)  # no tables: tier 1 misses
+        plan = FaultPlan(seed=3, exception_rate=1.0)
+        requests = 8
+        service = DecisionService(
+            empty,
+            [config],
+            injector=ServingFaultInjector(plan, requests),
+            breaker_threshold=3,
+            breaker_cooldown=300.0,
+        )
+        signature = table.signatures()[0]
+        for _ in range(requests):
+            served = service.decide(config.fingerprint(), signature)
+            assert served.status == "ok"
+            assert served.decision.action.delay >= 0.0
+        counters = service.counters_snapshot()
+        assert counters["planner_failures"] == 3  # then the breaker opened
+        assert counters["breaker_open"] == requests - 3
+        assert counters["default_served"] == requests
+        assert counters["errors"] == 0
+        assert service.breaker_for(config.fingerprint()).state == "open"
+
+    def test_safe_default_provenance_is_slowest_prior_rate(self):
+        config = fast_config()
+        rates = [
+            assignment["link_rate_bps"]
+            for assignment, _ in config.prior.combinations()
+        ]
+        decision = safe_default_decision(config)
+        assert decision.action.delay == pytest.approx(
+            config.packet_bits / min(rates)
+        )
+        # Unknown config: one default packet at the global prior floor.
+        assert safe_default_decision(None).action.delay == DEFAULT_SAFE_DELAY
+
+    def test_planner_timeout_degrades_to_default(self, published, tmp_path):
+        config, table, _ = published
+        empty = PolicyTableRegistry(tmp_path)
+        plan = FaultPlan(seed=1, hangs=1, hang_seconds=5.0)
+        service = DecisionService(
+            empty,
+            [config],
+            planner_timeout=0.15,
+            injector=ServingFaultInjector(plan, 1),
+        )
+        started = time.monotonic()
+        served = service.decide(config.fingerprint(), table.signatures()[0])
+        elapsed = time.monotonic() - started
+        assert served.tier == "default"
+        assert elapsed < 2.0  # bounded by the timeout, not the hang
+        assert service.counters_snapshot()["planner_failures"] == 1
+
+
+# ------------------------------------------------- reload & shared registry
+
+
+class TestConcurrentServing:
+    def test_hot_reload_races_in_flight_lookups(self, tmp_path):
+        """Publish/reload churn under a request hammer: zero bad answers."""
+        config = fast_config()
+        tables = [
+            precompute_policy_table(
+                config, pilot_duration=5.0, burst_levels=levels, seed=seed
+            )
+            for levels, seed in (((0, 2), 2), ((0, 1, 2), 3))
+        ]
+        registry = PolicyTableRegistry(tmp_path)
+        registry.publish(tables[0])
+        service = DecisionService(registry, [config], planner_timeout=30.0)
+        # Signatures present in both versions answer from whichever table
+        # a racing lookup lands on; the rest fall through to the planner.
+        common = sorted(
+            set(tables[0].signatures()) & set(tables[1].signatures())
+        )
+        assert common, "the two versions share no signatures"
+        fingerprint = config.fingerprint()
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def hammer() -> None:
+            i = 0
+            while not stop.is_set():
+                served = service.decide(fingerprint, common[i % len(common)])
+                if served.status != "ok" or served.tier not in ("table", "planner"):
+                    failures.append(f"{served.status}/{served.tier}")
+                i += 1
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for flip in range(10):
+            registry.publish(tables[flip % 2])
+            registry.reload()
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+        assert failures == []
+        counters = service.counters_snapshot()
+        assert counters["errors"] == 0
+        assert counters["table_hits"] > 0
+
+    def test_two_instances_share_one_registry_directory(self, tmp_path):
+        config = fast_config()
+        first = precompute_policy_table(
+            config, pilot_duration=5.0, burst_levels=(0, 2), seed=2
+        )
+        second = precompute_policy_table(
+            config, pilot_duration=5.0, burst_levels=(0, 1, 2), seed=3
+        )
+        registry_a = PolicyTableRegistry(tmp_path)
+        registry_b = PolicyTableRegistry(tmp_path)
+        registry_a.publish(first)
+
+        fingerprint = config.fingerprint()
+        assert registry_b.lookup(fingerprint) is not None
+        # Instance A publishes a new version; B observes it on its next
+        # lookup without any signal between the processes.
+        registry_a.publish(second)
+        assert registry_b.current_digest(fingerprint) == registry_a.current_digest(
+            fingerprint
+        )
+        assert registry_b.lookup(fingerprint).size == second.size
+
+
+# ------------------------------------------------------------ HTTP surface
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestPolicyServerHTTP:
+    def test_decide_health_metrics_and_reload(self, published):
+        config, table, registry = published
+        service = DecisionService(registry, [config])
+        signature = table.signatures()[0]
+
+        async def scenario():
+            server = PolicyServer(service, max_pending=4)
+            await server.start()
+            client = PolicyClient(port=server.port)
+            try:
+                payload = await client.decide(config.fingerprint(), signature)
+                assert payload["status"] == "ok"
+                assert payload["tier"] == "table"
+                assert payload["table_digest"] == registry.current_digest(
+                    config.fingerprint()
+                )
+                served = decision_from_payload(payload["decision"])
+                assert served == table.decision_for(signature)
+                assert payload["counters"]["table_hits"] >= 1
+
+                status, health = await client.get("/healthz")
+                assert status == 200 and health["status"] == "ok"
+                status, ready = await client.get("/readyz")
+                assert status == 200 and ready["status"] == "ready"
+                status, metrics = await client.get("/metrics")
+                assert status == 200
+                assert metrics["counters"]["requests"] >= 1
+                reloaded = await client.reload()
+                assert reloaded == {"status": "ok", "dropped": 1}
+
+                status, missing = await client.get("/nope")
+                assert status == 404 and missing["status"] == "error"
+            finally:
+                await client.close()
+                await server.stop()
+
+        run_async(scenario())
+
+    def test_malformed_decide_is_a_400_not_a_crash(self, published):
+        config, _, registry = published
+        service = DecisionService(registry, [config])
+
+        async def scenario():
+            server = PolicyServer(service)
+            await server.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            body = b"this is not json"
+            writer.write(
+                b"POST /decide HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s"
+                % (len(body), body)
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            assert b"400" in status_line
+            writer.close()
+            await server.stop()
+
+        run_async(scenario())
+
+    def test_unready_without_tables_or_configs(self, tmp_path):
+        service = DecisionService(PolicyTableRegistry(tmp_path), [])
+
+        async def scenario():
+            server = PolicyServer(service)
+            await server.start()
+            client = PolicyClient(port=server.port)
+            try:
+                status, payload = await client.get("/readyz")
+                assert status == 503
+                assert payload["status"] == "unready"
+                assert "no published tables" in payload["reasons"][0]
+            finally:
+                await client.close()
+                await server.stop()
+
+        run_async(scenario())
+
+    def test_admission_control_sheds_with_a_valid_decision(self, published):
+        config, table, registry = published
+        service = DecisionService(registry, [config])
+        signature = table.signatures()[0]
+
+        async def scenario():
+            server = PolicyServer(service, max_pending=2)
+            await server.start()
+            server._pending = server.max_pending  # saturate admission control
+            client = PolicyClient(port=server.port)
+            strict = PolicyClient(port=server.port, raise_on_overload=True)
+            try:
+                payload = await client.decide(config.fingerprint(), signature)
+                assert payload["status"] == "overloaded"
+                assert payload["tier"] == "default"
+                assert payload["decision"]["delay"] >= 0.0
+                with pytest.raises(OverloadedError):
+                    await strict.decide(config.fingerprint(), signature)
+
+                status, ready = await client.get("/readyz")
+                assert status == 503  # saturated instances report unready
+            finally:
+                server._pending = 0
+                await client.close()
+                await strict.close()
+                await server.stop()
+
+        run_async(scenario())
+        assert service.counters_snapshot()["shed"] == 2
+
+    def test_concurrent_overload_sheds_some_and_answers_all(self, published):
+        config, table, registry = published
+        service = DecisionService(registry, [config])
+        signature = table.signatures()[0]
+        slow = threading.Event()
+        original = service.decide
+
+        def slowed(fingerprint, sig, now=0.0):
+            slow.wait(0.3)
+            return original(fingerprint, sig, now)
+
+        service.decide = slowed  # type: ignore[method-assign]
+
+        async def scenario():
+            server = PolicyServer(service, max_pending=2)
+            await server.start()
+            clients = [PolicyClient(port=server.port) for _ in range(6)]
+            try:
+                tasks = [
+                    asyncio.create_task(
+                        client.decide(config.fingerprint(), signature)
+                    )
+                    for client in clients
+                ]
+                await asyncio.sleep(0.05)
+                slow.set()
+                payloads = await asyncio.gather(*tasks)
+            finally:
+                for client in clients:
+                    await client.close()
+                await server.stop()
+            return payloads
+
+        payloads = run_async(scenario())
+        statuses = [payload["status"] for payload in payloads]
+        assert all(status in ("ok", "overloaded") for status in statuses)
+        assert statuses.count("overloaded") >= 1  # admission control engaged
+        assert all(payload["decision"]["delay"] >= 0.0 for payload in payloads)
+
+
+# ------------------------------------------------------- chaos acceptance
+
+
+class TestChaosAcceptance:
+    def test_every_request_gets_a_valid_decision_and_counters_match(
+        self, published
+    ):
+        """The headline robustness claim, checked against a reference walk.
+
+        A seeded fault plan (exceptions, hangs, in-memory corruption) runs
+        over a mixed table-hit / off-table request stream.  Every response
+        must be a valid decision (100 % availability), a gated fraction
+        must come from the real tiers rather than the safe default, and
+        every per-tier counter must equal the value predicted by an
+        independent simulation of the plan — determinism, not luck.
+        """
+        config, table, registry = published
+        requests = 40
+        plan = FaultPlan(
+            seed=11, exception_rate=0.15, hangs=2, corrupt=4, hang_seconds=0.6
+        )
+        injector = ServingFaultInjector(plan, requests)
+        service = DecisionService(
+            registry,
+            [config],
+            planner_timeout=0.2,
+            breaker_threshold=3,
+            breaker_cooldown=300.0,  # once open, stays open: predictable
+            injector=injector,
+        )
+        known = table.signatures()
+        off = off_table_signature(table)
+        stream = [
+            off if index % 5 == 4 else known[index % len(known)]
+            for index in range(requests)
+        ]
+
+        fingerprint = config.fingerprint()
+        results = [service.decide(fingerprint, signature) for signature in stream]
+
+        # 100% availability: every request got a valid decision.
+        for served in results:
+            assert served.status == "ok"
+            assert served.tier in ("table", "planner", "default")
+            assert served.decision.action.delay >= 0.0
+
+        # Reference walk: predict every counter from the plan alone.
+        expected = {
+            "requests": requests, "table_hits": 0, "table_misses": 0,
+            "table_corrupt": 0, "planner_fallbacks": 0, "planner_failures": 0,
+            "breaker_open": 0, "default_served": 0, "shed": 0, "errors": 0,
+        }
+        consecutive = 0
+        breaker_open = False
+        for index, signature in enumerate(stream):
+            faults = injector.faults_for(index)
+            if faults.corrupt:
+                expected["table_corrupt"] += 1
+                hit = False
+            else:
+                hit = signature in known
+            if hit:
+                expected["table_hits"] += 1
+                continue
+            expected["table_misses"] += 1
+            if breaker_open:
+                expected["breaker_open"] += 1
+                expected["default_served"] += 1
+                continue
+            if faults.planner_kind is not None:
+                expected["planner_failures"] += 1
+                expected["default_served"] += 1
+                consecutive += 1
+                if consecutive >= 3:
+                    breaker_open = True
+            else:
+                expected["planner_fallbacks"] += 1
+                consecutive = 0
+
+        assert service.counters_snapshot() == expected
+        counters = service.counters_snapshot()
+        assert (
+            counters["table_hits"]
+            + counters["planner_fallbacks"]
+            + counters["default_served"]
+            == requests
+        )
+        # Degraded-mode quality gate: most answers avoid the safe default.
+        assert (counters["table_hits"] + counters["planner_fallbacks"]) >= 0.7 * requests
+
+    def test_injector_rejects_process_level_faults(self):
+        with pytest.raises(ConfigurationError, match="no per-request meaning"):
+            ServingFaultInjector(FaultPlan(kills=1), 10)
+        from repro.runner.faults import PointFault
+
+        with pytest.raises(ConfigurationError, match="no per-request meaning"):
+            ServingFaultInjector(
+                FaultPlan(targets=(PointFault(kind="kill_sweep", index=0),)), 10
+            )
+
+    def test_chaos_is_replayable(self):
+        plans = [
+            ServingFaultInjector(
+                FaultPlan(seed=9, exception_rate=0.2, corrupt=3, hangs=1), 30
+            )
+            for _ in range(2)
+        ]
+        assert plans[0].expected_corrupt() == plans[1].expected_corrupt()
+        assert plans[0].expected_planner_faults() == plans[1].expected_planner_faults()
+        assert plans[0].assignment == plans[1].assignment
+
+
+# ----------------------------------------------------------------- the CLI
+
+
+class TestServingCli:
+    def run_cli(self, *args, cwd=None):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.serving", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd or REPO_ROOT,
+            env={
+                **__import__("os").environ,
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+            },
+        )
+
+    def test_publish_then_chaos_workload_is_clean(self, tmp_path):
+        registry = tmp_path / "registry"
+        published = self.run_cli(
+            "publish", "--registry", str(registry), "--preset", "small", "--seed", "2"
+        )
+        assert published.returncode == 0, published.stdout + published.stderr
+        assert "published preset 'small'" in published.stdout
+
+        workload = self.run_cli(
+            "workload",
+            "--registry", str(registry),
+            "--preset", "small",
+            "--requests", "30",
+            "--fallback-fraction", "0.2",
+            "--planner-timeout", "0.5",
+            "--inject-faults", "exception=0.1,corrupt=2,seed=3",
+        )
+        assert workload.returncode == 0, workload.stdout + workload.stderr
+        assert "errors: 0" in workload.stdout
+        assert "table_hits:" in workload.stdout
+
+    def test_workload_without_published_table_exits_2(self, tmp_path):
+        result = self.run_cli(
+            "workload", "--registry", str(tmp_path / "empty"), "--requests", "5"
+        )
+        assert result.returncode == 2
+        assert "no published table" in result.stderr
+
+
+# ----------------------------------------------------- payload round trips
+
+
+class TestWireFormat:
+    def test_decision_payload_round_trip_is_exact(self, published):
+        _, table, _ = published
+        for signature in table.signatures():
+            decision = table.decision_for(signature)
+            restored = decision_from_payload(
+                json.loads(json.dumps(decision_to_payload(decision)))
+            )
+            assert restored == decision
+
+    def test_served_payload_includes_counters_and_tier(self, published):
+        config, table, registry = published
+        service = DecisionService(registry, [config])
+        served = service.decide(config.fingerprint(), table.signatures()[0])
+        payload = served.to_payload(service.counters_snapshot())
+        assert payload["tier"] == "table"
+        assert payload["counters"]["requests"] == 1
+        assert payload["decision"]["delay"] == served.decision.action.delay
