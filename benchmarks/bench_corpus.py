@@ -1,0 +1,210 @@
+"""Benchmarks for the trace-corpus subsystem.
+
+Three gated records in ``BENCH_corpus.json``:
+
+* ``warm_sweep`` — a corpus-trace sweep rerun against a warm
+  :class:`~repro.runner.cache.ResultCache` must replay byte-identically at
+  a ≥5× wall-clock speedup (corpus points are keyed by trace *digest*, so
+  a rerun over the same corpus entries is all cache hits);
+* ``contention_128`` — a 128-flow ``many_flow_contention`` point completes
+  and reports a Jain's index in (0, 1];
+* ``round_trip`` — ingesting the committed mahimahi fixture and describing
+  it preserves the trace digest exactly through store, manifest, and blob.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import CorpusStore, load_trace_path
+from repro.metrics.summary import ExperimentRow, format_table
+from repro.runner import ResultCache, SerialRunner
+from repro.runner.scenarios import corpus_sweep_specs, many_flow_specs
+
+FIXTURE = Path(__file__).parent.parent / "tests" / "data" / "mahimahi_small.trace"
+
+BENCH_SWEEP_DURATION = 20.0
+BENCH_CONTENTION_FLOWS = 128
+BENCH_CONTENTION_DURATION = 8.0
+
+
+def seed_corpus(root: Path) -> CorpusStore:
+    store = CorpusStore(root)
+    store.register_generator("bench-onoff", "markov_onoff", {"duration": 40.0}, seed=1)
+    store.register_generator("bench-crowd", "flash_crowd", {"duration": 40.0}, seed=2)
+    return store
+
+
+@pytest.mark.bench
+def test_corpus_sweep_warm_rerun(table_printer, bench_record, tmp_path):
+    store = seed_corpus(tmp_path / "corpus")
+    specs = corpus_sweep_specs(
+        traces=store.names(),
+        seeds=(0, 1),
+        duration=BENCH_SWEEP_DURATION,
+        corpus_dir=str(store.root),
+    )
+
+    started = time.perf_counter()
+    cold = SerialRunner(cache=ResultCache(tmp_path / "cache")).run(specs)
+    cold_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = SerialRunner(cache=ResultCache(tmp_path / "cache")).run(specs)
+    warm_elapsed = time.perf_counter() - started
+
+    speedup = cold_elapsed / warm_elapsed if warm_elapsed > 0 else float("inf")
+    replay_identical = cold.to_json() == warm.to_json()
+    all_hits = (warm.cache_hits, warm.cache_misses) == (len(specs), 0)
+
+    table_printer(
+        format_table(
+            [
+                ExperimentRow(
+                    label="cold",
+                    values={"wall (s)": cold_elapsed, "misses": cold.cache_misses},
+                ),
+                ExperimentRow(
+                    label="warm",
+                    values={"wall (s)": warm_elapsed, "hits": warm.cache_hits},
+                ),
+                ExperimentRow(label="speedup", values={"wall (s)": speedup}),
+            ],
+            title=f"Corpus sweep — {len(specs)} digest-keyed points, cold vs warm",
+        )
+    )
+
+    assert replay_identical, "warm corpus rerun must replay bit-identically"
+    assert all_hits, f"warm corpus rerun executed points: {warm.cache_misses} miss(es)"
+    assert speedup >= 5.0, f"expected >= 5x warm-rerun speedup, measured {speedup:.1f}x"
+
+    bench_record(
+        "corpus",
+        entries={
+            "warm_sweep": (
+                {
+                    "cold_wall_time_s": cold_elapsed,
+                    "warm_wall_time_s": warm_elapsed,
+                    "points": len(warm),
+                    "speedup_vs_cold": speedup,
+                    "replay_identical": float(replay_identical),
+                    "all_points_hit": float(all_hits),
+                },
+                {"traces": store.names(), "duration_s": BENCH_SWEEP_DURATION},
+            ),
+        },
+        gates={
+            "warm_sweep.speedup_vs_cold": {"min": 5.0},
+            "warm_sweep.replay_identical": {"min": 1.0},
+            "warm_sweep.all_points_hit": {"min": 1.0},
+        },
+    )
+
+
+@pytest.mark.bench
+def test_128_flow_contention_reports_fairness(table_printer, bench_record):
+    specs = many_flow_specs(
+        flow_counts=(BENCH_CONTENTION_FLOWS,),
+        seeds=(0,),
+        duration=BENCH_CONTENTION_DURATION,
+        isender_flows=1,
+    )
+
+    started = time.perf_counter()
+    store = SerialRunner().run(specs)
+    elapsed = time.perf_counter() - started
+    metrics = store.results[0].metrics
+
+    table_printer(
+        format_table(
+            [
+                ExperimentRow(
+                    label=f"{BENCH_CONTENTION_FLOWS} flows",
+                    values={
+                        "wall (s)": elapsed,
+                        "jain": metrics["jain_index"],
+                        "util": metrics["utilization"],
+                        "drops": metrics["buffer_drops"],
+                    },
+                ),
+            ],
+            title="Many-flow contention — 128 flows through one shared bottleneck",
+        )
+    )
+
+    assert 0.0 < metrics["jain_index"] <= 1.0
+
+    bench_record(
+        "corpus",
+        entries={
+            "contention_128": (
+                {
+                    "wall_time_s": elapsed,
+                    "jain_index": metrics["jain_index"],
+                    "utilization": metrics["utilization"],
+                    "total_goodput_bps": metrics["total_goodput_bps"],
+                },
+                {
+                    "flows": BENCH_CONTENTION_FLOWS,
+                    "duration_s": BENCH_CONTENTION_DURATION,
+                },
+            ),
+        },
+        gates={
+            "contention_128.jain_index": {"min": 0.01, "max": 1.0},
+        },
+    )
+
+
+@pytest.mark.bench
+def test_ingest_describe_round_trip(table_printer, bench_record, tmp_path):
+    parsed = load_trace_path(FIXTURE)
+
+    started = time.perf_counter()
+    store = CorpusStore(tmp_path)
+    entry = store.ingest(FIXTURE, name="fixture")
+    described = store.describe("fixture")
+    loaded = store.get("fixture")
+    elapsed = time.perf_counter() - started
+
+    digest_preserved = (
+        parsed.digest == entry["digest"] == described["digest"] == loaded.digest
+    )
+
+    table_printer(
+        format_table(
+            [
+                ExperimentRow(
+                    label="ingest+describe",
+                    values={
+                        "wall (s)": elapsed,
+                        "samples": float(described["samples"]),
+                        "digest ok": float(digest_preserved),
+                    },
+                ),
+            ],
+            title="Corpus round trip — mahimahi fixture through the store",
+        )
+    )
+
+    assert digest_preserved, "round trip must preserve the trace digest exactly"
+
+    bench_record(
+        "corpus",
+        entries={
+            "round_trip": (
+                {
+                    "wall_time_s": elapsed,
+                    "samples": float(described["samples"]),
+                    "digest_preserved": float(digest_preserved),
+                },
+                {"fixture": FIXTURE.name},
+            ),
+        },
+        gates={
+            "round_trip.digest_preserved": {"min": 1.0},
+        },
+    )

@@ -14,7 +14,12 @@ substitutions):
   stochastic loss into delay instead of exposing it to the sender.
 """
 
-from repro.cellular.link import CellularLink
+from repro.cellular.link import CellularLink, TraceDrivenLink
 from repro.cellular.trace import RateProcess, constant_rate_process
 
-__all__ = ["CellularLink", "RateProcess", "constant_rate_process"]
+__all__ = [
+    "CellularLink",
+    "RateProcess",
+    "TraceDrivenLink",
+    "constant_rate_process",
+]

@@ -18,9 +18,36 @@ from collections import deque
 from typing import Optional
 
 from repro.cellular.trace import RateProcess
+from repro.elements.throughput import Throughput
 from repro.errors import ConfigurationError
 from repro.sim.element import Element
 from repro.sim.packet import Packet
+
+
+class TraceDrivenLink(Throughput):
+    """A :class:`~repro.elements.throughput.Throughput` whose rate follows a trace.
+
+    The one override is :meth:`service_time`: each packet is serialized at
+    the rate process's instantaneous rate when its transmission begins.
+    Unlike :class:`CellularLink`, this element keeps the standard
+    buffer-pull protocol — pair it with an upstream
+    :class:`~repro.elements.buffer.Buffer` for bounded tail-drop queueing,
+    which is how the many-flow contention scenarios share one bottleneck
+    across N senders.
+
+    ``rate_process`` is anything with ``rate_at(t)`` — a
+    :class:`~repro.cellular.trace.RateProcess` or a corpus
+    :class:`~repro.corpus.trace.LinkTrace`.
+    """
+
+    def __init__(self, rate_process, name: str | None = None) -> None:
+        # The nominal Throughput rate is the process's starting rate; it is
+        # never used for service times, only reported.
+        super().__init__(rate_process.rate_at(0.0), name)
+        self.rate_process = rate_process
+
+    def service_time(self, packet: Packet) -> float:
+        return packet.size_bits / self.rate_process.rate_at(self.sim.now)
 
 
 class CellularLink(Element):

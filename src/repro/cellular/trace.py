@@ -67,13 +67,23 @@ class RateProcess:
         self._rates: list[float] = []
         log_rate = math.log(nominal_bps)
         log_nominal = math.log(nominal_bps)
-        time = 0.0
-        while time < duration:
-            self._times.append(time)
-            rate = min(max_bps, max(min_bps, math.exp(log_rate)))
-            self._rates.append(rate)
-            log_rate += reversion * (log_nominal - log_rate) + rng.gauss(0.0, volatility)
-            time += step_interval
+        if volatility == 0.0:
+            # The walk starts at the nominal rate and a zero-volatility
+            # innovation never moves it (reversion pulls toward where it
+            # already is), so the whole trace is one segment — don't
+            # materialize duration/step_interval identical samples.
+            self._times.append(0.0)
+            self._rates.append(min(max_bps, max(min_bps, nominal_bps)))
+        else:
+            time = 0.0
+            while time < duration:
+                self._times.append(time)
+                rate = min(max_bps, max(min_bps, math.exp(log_rate)))
+                self._rates.append(rate)
+                log_rate += reversion * (log_nominal - log_rate) + rng.gauss(0.0, volatility)
+                time += step_interval
+        self._mean_rate = sum(self._rates) / len(self._rates)
+        self._min_rate = min(self._rates)
 
     def rate_at(self, time: float) -> float:
         """Instantaneous service rate at ``time`` (clamped to the trace ends)."""
@@ -84,12 +94,12 @@ class RateProcess:
         return self._rates[index]
 
     def mean_rate(self) -> float:
-        """Arithmetic mean of the generated trace."""
-        return sum(self._rates) / len(self._rates)
+        """Arithmetic mean of the generated trace (cached at construction)."""
+        return self._mean_rate
 
     def min_rate(self) -> float:
-        """Smallest rate in the generated trace."""
-        return min(self._rates)
+        """Smallest rate in the generated trace (cached at construction)."""
+        return self._min_rate
 
     def samples(self) -> list[tuple[float, float]]:
         """The full ``(time, rate)`` trace."""
@@ -99,13 +109,25 @@ class RateProcess:
         return len(self._rates)
 
 
-def constant_rate_process(rate_bps: float, duration: float = 600.0) -> RateProcess:
-    """A degenerate :class:`RateProcess` pinned to a single rate (for tests)."""
+def constant_rate_process(
+    rate_bps: float,
+    duration: float = 600.0,
+    step_interval: float = 0.5,
+    seed: int = 0,
+) -> RateProcess:
+    """A degenerate :class:`RateProcess` pinned to a single rate (for tests).
+
+    With zero volatility the process collapses to a single segment, so this
+    is cheap at any duration.  ``step_interval`` and ``seed`` pass through
+    for call-site symmetry with the full constructor.
+    """
     return RateProcess(
         nominal_bps=rate_bps,
         min_bps=rate_bps,
         max_bps=rate_bps,
+        step_interval=step_interval,
         volatility=0.0,
         reversion=0.0,
         duration=duration,
+        seed=seed,
     )

@@ -1,0 +1,232 @@
+"""The corpus's canonical trace artifact: a validated, digestable rate trace.
+
+A :class:`LinkTrace` is the load-once representation every corpus entry —
+ingested real-world trace or seeded synthetic generator — resolves to: a
+piecewise-constant ``(time, rate)`` schedule with an explicit duration, a
+content digest that keys it in the on-disk store, and the same read surface
+as :class:`~repro.cellular.trace.RateProcess` (``rate_at`` / ``mean_rate``
+/ ``min_rate`` / ``samples`` / ``len``), so anything that drives a link
+from a rate process — :class:`~repro.cellular.link.CellularLink`,
+:class:`~repro.cellular.link.TraceDrivenLink` — accepts a corpus trace
+unchanged.
+
+Validation happens at construction, never at read time: times must be
+strictly increasing and start at or after zero, rates must be strictly
+positive, and the duration must cover the last segment.  The digest hashes
+only the data (times, rates, duration) under the repository's one
+canonical-JSON convention, so renaming a corpus entry or re-ingesting the
+same bytes under a different name never changes the digest the result
+cache keys on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_right
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Trace payload layout version; part of the digest, so a layout change
+#: re-keys every stored artifact instead of silently aliasing old ones.
+TRACE_SCHEMA_VERSION = 1
+
+
+def trace_digest(
+    times: Sequence[float], rates: Sequence[float], duration: float
+) -> str:
+    """Content digest of a trace's data (name- and source-independent).
+
+    The same canonical-JSON-then-sha256 convention as
+    :func:`repro.api.config.canonical_digest`, spelled locally so the
+    corpus layer stays importable without pulling in the inference stack.
+    """
+    canonical = json.dumps(
+        {
+            "schema": TRACE_SCHEMA_VERSION,
+            "times": [float(t) for t in times],
+            "rates": [float(r) for r in rates],
+            "duration": float(duration),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class LinkTrace:
+    """A validated piecewise-constant link-rate trace.
+
+    Parameters
+    ----------
+    times:
+        Segment start times in seconds, strictly increasing, first >= 0.
+    rates:
+        Service rate in bits/s for each segment; strictly positive.
+    duration:
+        Total trace length in seconds (must reach past the last segment
+        start).  ``None`` extends the last segment by the trace's final
+        inter-sample gap (or 1 s for a single-segment trace).
+    name / source:
+        Free-form provenance, excluded from the digest.
+    """
+
+    def __init__(
+        self,
+        times: Iterable[float],
+        rates: Iterable[float],
+        duration: Optional[float] = None,
+        name: str = "",
+        source: str = "",
+    ) -> None:
+        self.times: tuple[float, ...] = tuple(float(t) for t in times)
+        self.rates: tuple[float, ...] = tuple(float(r) for r in rates)
+        if not self.times:
+            raise ConfigurationError("a LinkTrace needs at least one sample")
+        if len(self.times) != len(self.rates):
+            raise ConfigurationError(
+                f"times ({len(self.times)}) and rates ({len(self.rates)}) "
+                "must have equal length"
+            )
+        if self.times[0] < 0.0:
+            raise ConfigurationError(
+                f"trace must start at or after t=0, got {self.times[0]!r}"
+            )
+        for index in range(1, len(self.times)):
+            if self.times[index] <= self.times[index - 1]:
+                raise ConfigurationError(
+                    f"trace times must be strictly increasing; sample {index} "
+                    f"({self.times[index]!r}) does not follow "
+                    f"{self.times[index - 1]!r}"
+                )
+        for index, rate in enumerate(self.rates):
+            if rate <= 0.0:
+                raise ConfigurationError(
+                    f"trace rates must be positive; sample {index} is {rate!r}"
+                )
+        if duration is None:
+            if len(self.times) >= 2:
+                duration = self.times[-1] + (self.times[-1] - self.times[-2])
+            else:
+                duration = self.times[-1] + 1.0
+        duration = float(duration)
+        if duration <= self.times[-1]:
+            raise ConfigurationError(
+                f"duration ({duration!r}) must extend past the last segment "
+                f"start ({self.times[-1]!r})"
+            )
+        self.duration = duration
+        self.name = name
+        self.source = source
+
+        # Segment lengths close the trace at `duration`, so the mean is the
+        # true time-weighted average rate (what utilization is judged
+        # against), not a sample average skewed by irregular segments.
+        spans = [
+            (self.times[i + 1] if i + 1 < len(self.times) else duration)
+            - self.times[i]
+            for i in range(len(self.times))
+        ]
+        self._mean_rate = (
+            sum(rate * span for rate, span in zip(self.rates, spans))
+            / (duration - self.times[0])
+        )
+        self._min_rate = min(self.rates)
+        self._max_rate = max(self.rates)
+        self._digest: Optional[str] = None
+
+    # ------------------------------------------------------------ identity
+
+    @property
+    def digest(self) -> str:
+        """Content digest (lazy; hashes data only, never name/source)."""
+        if self._digest is None:
+            self._digest = trace_digest(self.times, self.rates, self.duration)
+        return self._digest
+
+    # ----------------------------------------- RateProcess-compatible surface
+
+    def rate_at(self, time: float) -> float:
+        """Instantaneous service rate at ``time`` (clamped to the trace ends)."""
+        if time <= self.times[0]:
+            return self.rates[0]
+        index = bisect_right(self.times, time) - 1
+        index = min(max(index, 0), len(self.rates) - 1)
+        return self.rates[index]
+
+    def mean_rate(self) -> float:
+        """Time-weighted mean rate over the trace's duration."""
+        return self._mean_rate
+
+    def min_rate(self) -> float:
+        """Smallest rate in the trace."""
+        return self._min_rate
+
+    def max_rate(self) -> float:
+        """Largest rate in the trace."""
+        return self._max_rate
+
+    def samples(self) -> list[tuple[float, float]]:
+        """The full ``(time, rate)`` trace."""
+        return list(zip(self.times, self.rates))
+
+    def __len__(self) -> int:
+        return len(self.rates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LinkTrace(samples={len(self)}, duration={self.duration:g}s, "
+            f"mean={self._mean_rate:g}bps, digest={self.digest[:12]})"
+        )
+
+    # ------------------------------------------------------------ round trip
+
+    def to_payload(self) -> dict:
+        """JSON-serializable blob form (the corpus store's on-disk layout)."""
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "digest": self.digest,
+            "name": self.name,
+            "source": self.source,
+            "times": list(self.times),
+            "rates": list(self.rates),
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "LinkTrace":
+        """Rebuild a trace from :meth:`to_payload` output, re-validating it."""
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError("trace payload must be a mapping")
+        if payload.get("schema") != TRACE_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported trace schema {payload.get('schema')!r} "
+                f"(expected {TRACE_SCHEMA_VERSION})"
+            )
+        trace = cls(
+            times=payload.get("times", ()),
+            rates=payload.get("rates", ()),
+            duration=payload.get("duration"),
+            name=str(payload.get("name", "")),
+            source=str(payload.get("source", "")),
+        )
+        recorded = payload.get("digest")
+        if recorded is not None and recorded != trace.digest:
+            raise ConfigurationError(
+                f"trace payload digest {recorded!r} does not match its "
+                f"content digest {trace.digest!r} (corrupt or edited blob)"
+            )
+        return trace
+
+    @classmethod
+    def from_rate_process(cls, process, name: str = "", source: str = "rate_process") -> "LinkTrace":
+        """Freeze a :class:`~repro.cellular.trace.RateProcess` into a trace."""
+        samples = process.samples()
+        return cls(
+            times=[t for t, _ in samples],
+            rates=[r for _, r in samples],
+            duration=getattr(process, "duration", None),
+            name=name,
+            source=source,
+        )

@@ -8,7 +8,7 @@ DIVERTER, alternated with EITHER, gated with INTERMITTENT or SQUAREWAVE.
 from repro.elements.buffer import Buffer
 from repro.elements.collector import Collector, FlowTally
 from repro.elements.delay import Delay
-from repro.elements.diverter import Diverter
+from repro.elements.diverter import Diverter, FlowDemux
 from repro.elements.either import Either
 from repro.elements.gate import GateElement
 from repro.elements.intermittent import Intermittent
@@ -27,6 +27,7 @@ __all__ = [
     "Delivery",
     "Diverter",
     "Either",
+    "FlowDemux",
     "FlowTally",
     "GateElement",
     "Intermittent",

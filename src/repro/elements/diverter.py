@@ -74,3 +74,56 @@ class Diverter(Element):
         super().reset()
         self.matched_count = 0
         self.other_count = 0
+
+
+class FlowDemux(Element):
+    """Route each packet to the branch registered for its flow name.
+
+    The N-way generalization of :class:`Diverter` that many-flow scenarios
+    need: after a shared bottleneck, packets fan out to the per-flow
+    :class:`~repro.elements.receiver.Receiver` that owns each sender's ACK
+    clock.  Packets whose flow has no branch are counted on ``ignored_count``
+    and dropped silently (cross traffic that nobody measures).
+
+    Parameters
+    ----------
+    branches:
+        Mapping of flow name to downstream element.  Several flows may
+        share one element; ``children()``/``start()`` visit each distinct
+        element once.
+    """
+
+    def __init__(
+        self, branches: dict[str, Element], name: str | None = None
+    ) -> None:
+        super().__init__(name)
+        self.branches = dict(branches)
+        self.ignored_count = 0
+
+    def _unique_branches(self) -> Iterable[Element]:
+        seen: list[Element] = []
+        for element in self.branches.values():
+            if not any(element is known for known in seen):
+                seen.append(element)
+                yield element
+
+    def children(self) -> Iterable[Element]:
+        yield from self._unique_branches()
+
+    def start(self) -> None:
+        for element in self._unique_branches():
+            element.start()
+
+    def receive(self, packet: Packet) -> None:
+        self.received_count += 1
+        branch = self.branches.get(packet.flow)
+        if branch is None:
+            self.ignored_count += 1
+            self.trace("ignore", seq=packet.seq, flow=packet.flow)
+            return
+        self.trace("route", seq=packet.seq, flow=packet.flow)
+        branch.receive(packet)
+
+    def reset(self) -> None:
+        super().reset()
+        self.ignored_count = 0

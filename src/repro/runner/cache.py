@@ -208,6 +208,24 @@ class ResultCache:
             if base.is_dir():
                 yield from sorted(p for p in base.rglob("*.json") if p.is_file())
 
+    def corpus_files(self) -> Iterator[Path]:
+        """Prunable trace-corpus blobs under ``corpus/traces/``.
+
+        The corpus manifest (``corpus/manifest.json``) is deliberately
+        *not* yielded: it is the index that makes every blob regenerable
+        (generator entries rebuild from their recorded family/params/seed;
+        ingested entries name their source file), so pruning it would turn
+        a cheap recomputation into data loss.  Blobs themselves are fair
+        game — the corpus store rebuilds or re-verifies them on demand.
+        """
+        base = self.root / "corpus" / "traces"
+        if base.is_dir():
+            yield from sorted(p for p in base.rglob("*.json") if p.is_file())
+
+    def corpus_manifest_path(self) -> Path:
+        """The co-located corpus manifest (never pruned)."""
+        return self.root / "corpus" / "manifest.json"
+
     def quarantine_files(self) -> Iterator[Path]:
         """Every quarantined file (corrupt entries moved aside at read time)."""
         base = self.root / "quarantine"
@@ -223,6 +241,13 @@ class ResultCache:
             stats.entries += 1
             stats.bytes += info.st_size
             stats.oldest_age_s = max(stats.oldest_age_s, now - info.st_mtime)
+        for path in self.corpus_files():
+            info = path.stat()
+            stats.corpus_entries += 1
+            stats.corpus_bytes += info.st_size
+        manifest = self.corpus_manifest_path()
+        if manifest.is_file():
+            stats.corpus_bytes += manifest.stat().st_size
         for path in self.quarantine_files():
             info = path.stat()
             stats.quarantined += 1
@@ -241,10 +266,11 @@ class ResultCache:
         """Prune cached artifacts by age and total size; optionally sweep
         the quarantine directory.
 
-        Age pruning removes every results/policy artifact older than
-        ``max_age_s``; size pruning then removes oldest-first until the
-        remainder fits ``max_total_bytes``.  Both criteria apply to the
-        regenerable stores only — the sweep journal is never touched.  The
+        Age pruning removes every results/policy artifact and corpus trace
+        blob older than ``max_age_s``; size pruning then removes
+        oldest-first until the remainder fits ``max_total_bytes``.  Both
+        criteria apply to the regenerable stores only — the sweep journal
+        and the corpus manifest are never touched.  The
         ``quarantine/`` directory (which otherwise grows without bound, one
         file per corruption ever observed) is emptied when
         ``sweep_quarantine`` is set; its files have normally been triaged
@@ -255,7 +281,10 @@ class ResultCache:
         report = CacheGCReport(dry_run=dry_run)
         clock = time.time() if now is None else now
         survivors: list[tuple[float, Path, int]] = []
-        for path in self.artifact_files():
+        # Corpus blobs are regenerable from the manifest, so they prune by
+        # the same criteria; the manifest itself is never in this list.
+        prunable = list(self.artifact_files()) + list(self.corpus_files())
+        for path in prunable:
             info = path.stat()
             if max_age_s is not None and clock - info.st_mtime > max_age_s:
                 report.removed.append(path)
@@ -290,6 +319,10 @@ class CacheStats:
     root: Path
     entries: int = 0
     bytes: int = 0
+    #: Trace blobs in the co-located corpus store (manifest excluded from
+    #: the count; its size is folded into ``corpus_bytes``).
+    corpus_entries: int = 0
+    corpus_bytes: int = 0
     quarantined: int = 0
     quarantined_bytes: int = 0
     oldest_age_s: float = 0.0

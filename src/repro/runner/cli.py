@@ -224,6 +224,14 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_list() -> int:
     for entry in DEFAULT_REGISTRY:
         print(f"{entry.name:24s} {entry.description}")
+        # One indented line of accepted params with their effective
+        # defaults, so every scenario is sweepable without reading source.
+        effective = entry.effective_params({})
+        parts = [f"{key}={effective[key]!r}" for key in sorted(effective)]
+        if entry.accepted_params is None:
+            parts.append("**params")
+        if parts:
+            print(f"{'':24s} params: {' '.join(parts)}")
     return 0
 
 
@@ -334,6 +342,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         stats = cache.stats()
         print(f"cache: {stats.root}")
         print(f"entries: {stats.entries} ({_format_bytes(stats.bytes)})")
+        print(
+            f"corpus traces: {stats.corpus_entries} "
+            f"({_format_bytes(stats.corpus_bytes)}, manifest never pruned)"
+        )
         print(
             f"quarantined: {stats.quarantined} "
             f"({_format_bytes(stats.quarantined_bytes)})"

@@ -12,22 +12,33 @@ This module is imported lazily by the registry (first name resolution), so
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
-from repro.api.config import SenderConfig
+from repro.api.config import SenderConfig, canonical_digest
+from repro.api.sender import build_components
+from repro.baselines.aimd import AimdSender
+from repro.baselines.cubic import CubicSender
 from repro.baselines.newreno import NewRenoSender
-from repro.cellular.link import CellularLink
-from repro.cellular.trace import RateProcess
+from repro.baselines.reno import RenoSender
+from repro.cellular.link import CellularLink, TraceDrivenLink
+from repro.cellular.trace import RateProcess, constant_rate_process
+from repro.core.isender import ISender
+from repro.corpus.store import open_corpus_store
 from repro.elements.buffer import Buffer
 from repro.elements.delay import Delay
+from repro.elements.diverter import FlowDemux
 from repro.elements.loss import Loss
 from repro.elements.receiver import Receiver
 from repro.elements.throughput import Throughput
+from repro.errors import ConfigurationError
 from repro.experiments.ablation import run_ablation_point
 from repro.experiments.comparison import run_loss_comparison
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure3 import run_figure3_point
 from repro.experiments.simple import run_convergence_scenario, run_drain_scenario
+from repro.inference.prior import single_link_prior
+from repro.metrics.fairness import convergence_time, flow_rate_matrix, jain_index
 from repro.runner.registry import scenario
 from repro.runner.spec import ScenarioSpec, grid
 from repro.sim.element import Network
@@ -405,6 +416,335 @@ def cellular_trace_tcp(
     }
 
 
+# ------------------------------------------------------------ corpus scenarios
+#
+# Corpus-backed scenarios carry the *content* of their workload in the
+# trace corpus, addressed by entry name.  Names are mutable (re-ingesting
+# under the same name replaces the entry), so the cache must not key on
+# them: the config factories below resolve the name to its content digest
+# in the driver process and fold that digest — plus the sender-config
+# fingerprint where one exists — into the point key via a lightweight
+# composite that quacks like a SenderConfig (``fingerprint()`` is all the
+# cache calls).
+
+
+@dataclass(frozen=True)
+class _CorpusEntryKey:
+    """The cache-key identity of a corpus-backed point: digest + config."""
+
+    trace_digest: str
+    sender_fingerprint: str = ""
+
+    def fingerprint(self) -> str:
+        return canonical_digest(
+            {"trace": self.trace_digest, "sender": self.sender_fingerprint}
+        )
+
+
+def corpus_trace_config(params: Mapping[str, Any]) -> _CorpusEntryKey:
+    """Key a ``corpus_trace`` point on the named entry's content digest."""
+    store = open_corpus_store(params["corpus_dir"] or None)
+    return _CorpusEntryKey(trace_digest=store.digest_of(params["trace"]))
+
+
+def many_flow_sender_config(params: Mapping[str, Any]) -> SenderConfig:
+    """The :class:`SenderConfig` every ISender flow in the contention mix uses."""
+    return SenderConfig(
+        alpha=params["alpha"],
+        belief_backend=params["belief_backend"],
+        rollout_backend=params["rollout_backend"],
+        policy=params["policy"],
+        packet_bits=params["packet_bits"],
+    )
+
+
+def many_flow_contention_config(params: Mapping[str, Any]) -> _CorpusEntryKey:
+    """Key a ``many_flow_contention`` point on trace digest + sender config."""
+    digest = ""
+    if params["trace"]:
+        digest = open_corpus_store(params["corpus_dir"] or None).digest_of(
+            params["trace"]
+        )
+    sender_fingerprint = ""
+    if params["isender_flows"] > 0:
+        sender_fingerprint = many_flow_sender_config(params).fingerprint()
+    return _CorpusEntryKey(
+        trace_digest=digest, sender_fingerprint=sender_fingerprint
+    )
+
+
+@scenario(config_factory=corpus_trace_config)
+def corpus_trace(
+    seed: int = 0,
+    trace: str = "",
+    corpus_dir: str = "",
+    duration: float = 0.0,
+    buffer_seconds: float = 4.0,
+    loss_rate: float = 0.0,
+    retransmit_delay: float = 0.05,
+    propagation_delay: float = 0.03,
+    packet_bits: float = DEFAULT_PACKET_BITS,
+) -> dict[str, float]:
+    """TCP over a corpus-registered link trace (ingested or generated).
+
+    ``trace`` names a corpus entry (see ``python -m repro.corpus list``);
+    ``corpus_dir`` overrides the default ``<cache-dir>/corpus`` root.
+    ``duration`` of 0 runs the trace's full length.  The cache key folds
+    in the entry's *content digest*, so re-ingesting different data under
+    the same name invalidates cached points even though the params did
+    not change.
+    """
+    if not trace:
+        raise ConfigurationError(
+            "corpus_trace needs a trace: pass --set trace=<corpus entry name>"
+        )
+    link_trace = open_corpus_store(corpus_dir or None).get(trace)
+    run_for = duration if duration > 0.0 else link_trace.duration
+    network = Network(seed=seed)
+    link = CellularLink(
+        rate_process=link_trace,
+        buffer_bits=buffer_seconds * link_trace.mean_rate(),
+        loss_rate=loss_rate,
+        retransmit_delay=retransmit_delay,
+        propagation_delay=propagation_delay,
+        name="corpus-link",
+    )
+    receiver = Receiver(name="receiver", accept_flows={"tcp"})
+    sender = NewRenoSender(
+        receiver,
+        flow="tcp",
+        packet_bits=packet_bits,
+        name="tcp",
+        initial_ssthresh=1e9,
+        max_rto=120.0,
+    )
+    sender.connect(link)
+    link.connect(receiver)
+    network.add(sender)
+    network.run(until=run_for)
+
+    goodput = receiver.throughput_bps(0.0, run_for, flow="tcp")
+    samples = sender.rtt_series()
+    rtts = [rtt for _, rtt in samples] if samples else [propagation_delay]
+    return {
+        "goodput_bps": goodput,
+        "utilization": goodput / link_trace.mean_rate(),
+        "trace_mean_rate_bps": link_trace.mean_rate(),
+        "trace_min_rate_bps": link_trace.min_rate(),
+        "max_rtt_s": max(rtts),
+        "mean_rtt_s": sum(rtts) / len(rtts),
+        "link_layer_retransmissions": link.link_layer_retransmissions,
+        "buffer_drops": link.drop_count,
+        "peak_buffer_bits": link.peak_occupancy_bits,
+    }
+
+
+#: Baseline sender classes a ``many_flow_contention`` mix may cycle through.
+MANY_FLOW_SENDER_KINDS = {
+    "reno": RenoSender,
+    "newreno": NewRenoSender,
+    "cubic": CubicSender,
+    "aimd": AimdSender,
+}
+
+
+@scenario(config_factory=many_flow_contention_config)
+def many_flow_contention(
+    seed: int = 0,
+    duration: float = 30.0,
+    flows: int = 8,
+    isender_flows: int = 1,
+    mix: str = "reno,cubic,aimd",
+    trace: str = "",
+    corpus_dir: str = "",
+    link_rate_bps: float = 8_000_000.0,
+    buffer_seconds: float = 1.0,
+    propagation_delay: float = 0.02,
+    packet_bits: float = DEFAULT_PACKET_BITS,
+    alpha: float = 1.0,
+    policy: str = "cache",
+    belief_backend: str = "scalar",
+    rollout_backend: str = "scalar",
+    fairness_window: float = 2.0,
+    fairness_threshold: float = 0.9,
+    per_flow_metrics: bool = False,
+) -> dict[str, float]:
+    """N concurrent flows through one shared buffer and trace-driven link.
+
+    The first ``isender_flows`` flows are inference-based
+    :class:`~repro.core.isender.ISender` instances (configured by
+    ``alpha``/``policy``/backends); the rest cycle through the ``mix`` of
+    classic congestion controllers.  The bottleneck is a shared tail-drop
+    :class:`~repro.elements.buffer.Buffer` drained by a
+    :class:`~repro.cellular.link.TraceDrivenLink` — a corpus entry when
+    ``trace`` is set, otherwise a constant ``link_rate_bps`` link.
+    Emits per-flow throughput/delay summaries plus the fairness metrics
+    (Jain's index over flow goodputs; convergence time of the windowed
+    Jain index at ``fairness_threshold``)::
+
+        python -m repro.runner run many_flow_contention \\
+            --set flows=16 --set isender_flows=4 --set duration=20
+    """
+    if flows < 1:
+        raise ConfigurationError(f"flows must be at least 1, got {flows!r}")
+    if not 0 <= isender_flows <= flows:
+        raise ConfigurationError(
+            f"isender_flows ({isender_flows!r}) must lie in [0, flows]"
+        )
+    mix_kinds = [kind.strip() for kind in mix.split(",") if kind.strip()]
+    unknown = sorted(set(mix_kinds) - set(MANY_FLOW_SENDER_KINDS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown sender kind(s) in mix: {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(MANY_FLOW_SENDER_KINDS))})"
+        )
+    if isender_flows < flows and not mix_kinds:
+        raise ConfigurationError("mix must name at least one sender kind")
+
+    if trace:
+        link_trace = open_corpus_store(corpus_dir or None).get(trace)
+    else:
+        link_trace = constant_rate_process(link_rate_bps, duration=duration + 10.0)
+    mean_rate = link_trace.mean_rate()
+    buffer_bits = buffer_seconds * mean_rate
+
+    network = Network(seed=seed)
+    buffer = Buffer(capacity_bits=buffer_bits, name="shared-buffer")
+    link = TraceDrivenLink(link_trace, name="bottleneck")
+    buffer.connect(link)
+    tail = link
+    if propagation_delay > 0.0:
+        delay = Delay(delay=propagation_delay, name="path-delay")
+        tail.connect(delay)
+        tail = delay
+
+    # One Receiver per flow: every sender owns its receiver's on_deliver
+    # ACK hook, so flows sharing a receiver would steal each other's ACK
+    # clock.  The demux fans the bottleneck's output back out per flow.
+    isender_config = (
+        many_flow_sender_config(
+            {
+                "alpha": alpha,
+                "belief_backend": belief_backend,
+                "rollout_backend": rollout_backend,
+                "policy": policy,
+                "packet_bits": packet_bits,
+            }
+        )
+        if isender_flows > 0
+        else None
+    )
+    fair_share = mean_rate / flows
+    flow_names: list[str] = []
+    flow_kinds: list[str] = []
+    senders: list[Any] = []
+    receivers: dict[str, Receiver] = {}
+    branches: dict[str, Any] = {}
+    for index in range(flows):
+        if index < isender_flows:
+            kind = "isender"
+        else:
+            kind = mix_kinds[(index - isender_flows) % len(mix_kinds)]
+        flow = f"{kind}-{index}"
+        receiver = Receiver(name=f"recv-{flow}", accept_flows={flow})
+        if kind == "isender":
+            # A fresh belief/planner/policy per flow: senders must not
+            # share mutable inference state.
+            parts = build_components(
+                isender_config,
+                single_link_prior(
+                    link_rate_low=fair_share / 4.0,
+                    link_rate_high=fair_share * 4.0,
+                    link_rate_points=7,
+                    buffer_capacity_bits=buffer_bits,
+                    fill_points=3,
+                    packet_bits=packet_bits,
+                ),
+            )
+            sender = ISender(
+                parts.belief,
+                parts.planner,
+                receiver,
+                flow=flow,
+                packet_bits=packet_bits,
+                name=flow,
+                policy=parts.policy,
+            )
+        else:
+            sender = MANY_FLOW_SENDER_KINDS[kind](
+                receiver, flow=flow, packet_bits=packet_bits, name=flow
+            )
+        sender.connect(buffer)
+        senders.append(sender)
+        flow_names.append(flow)
+        flow_kinds.append(kind)
+        receivers[flow] = receiver
+        branches[flow] = receiver
+    demux = FlowDemux(branches, name="flow-demux")
+    tail.connect(demux)
+    # Register roots only after the demux is wired: Network.add walks each
+    # sender's downstream graph at add time, and the receivers are only
+    # reachable through the demux.
+    network.add(*senders)
+    network.run(until=duration)
+
+    goodputs = {
+        flow: receivers[flow].throughput_bps(0.0, duration, flow=flow)
+        for flow in flow_names
+    }
+    window_starts, rate_rows = flow_rate_matrix(
+        {flow: receivers[flow].deliveries for flow in flow_names},
+        start=0.0,
+        end=duration,
+        window=fairness_window,
+    )
+    converged_at = convergence_time(
+        window_starts, rate_rows, threshold=fairness_threshold
+    )
+    delays = [
+        delivery.delay
+        for flow in flow_names
+        for delivery in receivers[flow].deliveries
+    ]
+    total_goodput = sum(goodputs.values())
+    kind_goodputs = {
+        kind: [goodputs[flow] for flow, k in zip(flow_names, flow_kinds) if k == kind]
+        for kind in set(flow_kinds)
+    }
+    isender_rates = kind_goodputs.get("isender", [])
+    baseline_rates = [
+        goodputs[flow]
+        for flow, kind in zip(flow_names, flow_kinds)
+        if kind != "isender"
+    ]
+    metrics = {
+        "flows": float(flows),
+        "isender_flows": float(isender_flows),
+        "jain_index": jain_index(list(goodputs.values())),
+        "convergence_time_s": converged_at if converged_at is not None else -1.0,
+        "total_goodput_bps": total_goodput,
+        "mean_flow_goodput_bps": total_goodput / flows,
+        "min_flow_goodput_bps": min(goodputs.values()),
+        "max_flow_goodput_bps": max(goodputs.values()),
+        "utilization": total_goodput / mean_rate,
+        "goodput_isender_bps": (
+            sum(isender_rates) / len(isender_rates) if isender_rates else 0.0
+        ),
+        "goodput_baseline_bps": (
+            sum(baseline_rates) / len(baseline_rates) if baseline_rates else 0.0
+        ),
+        "mean_delay_s": sum(delays) / len(delays) if delays else 0.0,
+        "max_delay_s": max(delays) if delays else 0.0,
+        "buffer_drops": buffer.drop_count,
+        "demux_ignored": demux.ignored_count,
+        "events_processed": network.sim.events_processed,
+    }
+    if per_flow_metrics:
+        for index, flow in enumerate(flow_names):
+            metrics[f"flow_{index:03d}_goodput_bps"] = goodputs[flow]
+    return metrics
+
+
 # ------------------------------------------------------------- spec generators
 
 
@@ -450,3 +790,33 @@ def cellular_trace_specs(
 ) -> list[ScenarioSpec]:
     """Per-seed trials of the trace-driven cellular scenario."""
     return grid("cellular_trace_tcp", seeds=seeds, base={"duration": duration, **params})
+
+
+def corpus_sweep_specs(
+    traces: Sequence[str],
+    seeds: Sequence[int] | int = (0,),
+    duration: float = 0.0,
+    **params: Any,
+) -> list[ScenarioSpec]:
+    """One ``corpus_trace`` point per corpus entry name (× seeds)."""
+    return grid(
+        "corpus_trace",
+        seeds=seeds,
+        base={"duration": duration, **params},
+        trace=list(traces),
+    )
+
+
+def many_flow_specs(
+    flow_counts: Sequence[int] = (4, 16, 64),
+    seeds: Sequence[int] | int = (0,),
+    duration: float = 20.0,
+    **params: Any,
+) -> list[ScenarioSpec]:
+    """A flow-count scaling sweep over ``many_flow_contention``."""
+    return grid(
+        "many_flow_contention",
+        seeds=seeds,
+        base={"duration": duration, **params},
+        flows=list(flow_counts),
+    )

@@ -108,6 +108,45 @@ class TestResultCacheGC:
         assert not (quarantine / "old-corruption.json").exists()
         assert cache.stats().entries == len(SPECS)  # artifacts untouched
 
+    def test_corpus_blobs_prune_but_manifest_survives(self, tmp_path):
+        """Corpus trace blobs are regenerable artifacts; the manifest is not."""
+        from repro.corpus import CorpusStore
+
+        cache = populate(tmp_path)
+        store = CorpusStore(tmp_path / "corpus")
+        store.register_generator("mk", "markov_onoff", {"duration": 10.0}, seed=1)
+        store.register_generator("dd", "diurnal", {"duration": 10.0}, seed=2)
+
+        stats = cache.stats()
+        assert stats.corpus_entries == 2
+        assert stats.corpus_bytes > 0
+        # Result entries and corpus blobs are counted separately.
+        assert stats.entries == len(SPECS)
+
+        age_files(cache, seconds=10 * 86_400)
+        for path in cache.corpus_files():
+            stamp = time.time() - 10 * 86_400
+            os.utime(path, (stamp, stamp))
+        report = cache.gc(max_age_s=5 * 86_400)
+        assert len(report.removed) == len(SPECS) + 2
+        assert cache.corpus_manifest_path().exists()
+        assert cache.stats().corpus_entries == 0
+
+        # The store transparently rebuilds a pruned generator blob.
+        rebuilt = store.get("mk")
+        assert rebuilt.digest == store.digest_of("mk")
+        assert cache.stats().corpus_entries == 1
+
+    def test_corpus_manifest_survives_total_prune(self, tmp_path):
+        from repro.corpus import CorpusStore
+
+        cache = ResultCache(tmp_path)
+        store = CorpusStore(tmp_path / "corpus")
+        store.register_generator("mk", "markov_onoff", {"duration": 10.0}, seed=1)
+        cache.gc(max_age_s=0.0, max_total_bytes=0, sweep_quarantine=True)
+        assert cache.corpus_manifest_path().exists()
+        assert store.names() == ["mk"]
+
     def test_journal_is_never_pruned(self, tmp_path):
         """The sweep journal records history, not regenerable artifacts."""
         cache = populate(tmp_path)
@@ -130,6 +169,18 @@ class TestCacheCli:
         assert f"cache: {tmp_path}" in output
         assert f"entries: {len(SPECS)}" in output
         assert "quarantined: 0" in output
+
+    def test_list_reports_corpus_traces(self, tmp_path, capsys):
+        from repro.corpus import CorpusStore
+
+        populate(tmp_path)
+        CorpusStore(tmp_path / "corpus").register_generator(
+            "mk", "markov_onoff", {"duration": 10.0}, seed=1
+        )
+        assert cli_main(["cache", "--cache-dir", str(tmp_path), "list"]) == 0
+        output = capsys.readouterr().out
+        assert "corpus traces: 1" in output
+        assert "manifest never pruned" in output
 
     def test_prune_by_age_and_quarantine(self, tmp_path, capsys):
         cache = populate(tmp_path)

@@ -45,6 +45,30 @@ class TestRateProcess:
         assert process.min_rate() == pytest.approx(5e5)
         assert len(process) > 0
 
+    def test_constant_process_is_single_segment(self):
+        # Zero volatility never moves the walk, so one segment is exact —
+        # a 600 s trace must not materialize ~1,200 identical samples.
+        process = constant_rate_process(5e5, duration=600.0)
+        assert len(process) == 1
+        assert process.rate_at(0.0) == pytest.approx(5e5)
+        assert process.rate_at(599.9) == pytest.approx(5e5)
+
+    def test_constant_process_passes_through_step_and_seed(self):
+        process = constant_rate_process(5e5, duration=30.0, step_interval=2.0, seed=9)
+        assert process.step_interval == 2.0
+        assert process.mean_rate() == pytest.approx(5e5)
+
+    def test_mean_and_min_are_cached_at_construction(self):
+        process = RateProcess(nominal_bps=1e6, min_bps=1e5, max_bps=4e6, seed=4, duration=30.0)
+        expected_mean = sum(r for _, r in process.samples()) / len(process)
+        expected_min = min(r for _, r in process.samples())
+        assert process.mean_rate() == pytest.approx(expected_mean)
+        assert process.min_rate() == pytest.approx(expected_min)
+        # Cached: mutating the underlying trace does not change the answer.
+        process._rates[0] = 1.0
+        assert process.mean_rate() == pytest.approx(expected_mean)
+        assert process.min_rate() == pytest.approx(expected_min)
+
 
 class TestCellularLink:
     def make_link(self, **overrides):
@@ -152,3 +176,29 @@ class TestBufferbloatMechanism:
         rtts = [sample.rtt for sample in sender.rtt_samples]
         assert min(rtts) < 0.2
         assert max(rtts) > 10 * min(rtts)
+
+
+class TestTraceDrivenLink:
+    def test_service_rate_follows_the_trace(self):
+        from repro.cellular import TraceDrivenLink
+        from repro.corpus import LinkTrace
+        from repro.elements import Buffer
+
+        # 1 Mbps for 6 s, then 4 Mbps: draining the same backlog speeds up 4x.
+        # 2000 x 12 kbit = 24 Mbit of backlog keeps the link busy past 10 s.
+        trace = LinkTrace(times=[0.0, 6.0], rates=[1e6, 4e6], duration=60.0)
+        network = Network(seed=0)
+        buffer = Buffer(capacity_bits=30e6, name="buf")
+        link = TraceDrivenLink(trace, name="link")
+        sink = Collector(name="sink")
+        buffer.connect(link)
+        link.connect(sink)
+        network.add(buffer)
+        network.start()
+        for seq in range(2000):
+            buffer.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        network.run(until=12.0)
+        slow = sink.throughput_bps(0.0, 6.0)
+        fast = sink.throughput_bps(6.0, 10.0)
+        assert slow == pytest.approx(1e6, rel=0.05)
+        assert fast == pytest.approx(4e6, rel=0.05)

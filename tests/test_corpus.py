@@ -1,0 +1,231 @@
+"""Tests for the trace-corpus subsystem: parsing, store, generators, CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import (
+    GENERATOR_FAMILIES,
+    CorpusStore,
+    LinkTrace,
+    build_generator,
+    load_trace_path,
+    parse_mahimahi_text,
+    parse_samples_text,
+    trace_digest,
+)
+from repro.corpus.__main__ import main as corpus_main
+from repro.errors import ConfigurationError
+
+FIXTURE = Path(__file__).parent / "data" / "mahimahi_small.trace"
+
+
+class TestLinkTrace:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkTrace(times=[], rates=[])
+        with pytest.raises(ConfigurationError):
+            LinkTrace(times=[0.0, 1.0], rates=[1e6])
+        with pytest.raises(ConfigurationError):
+            LinkTrace(times=[-1.0], rates=[1e6])
+        with pytest.raises(ConfigurationError):
+            LinkTrace(times=[0.0, 1.0, 1.0], rates=[1e6, 1e6, 1e6])
+        with pytest.raises(ConfigurationError):
+            LinkTrace(times=[0.0, 1.0], rates=[1e6, 0.0])
+        with pytest.raises(ConfigurationError):
+            LinkTrace(times=[0.0, 5.0], rates=[1e6, 1e6], duration=5.0)
+
+    def test_rate_process_compatible_surface(self):
+        trace = LinkTrace(times=[0.0, 2.0, 4.0], rates=[1e6, 3e6, 2e6], duration=6.0)
+        assert trace.rate_at(-1.0) == 1e6
+        assert trace.rate_at(0.5) == 1e6
+        assert trace.rate_at(2.0) == 3e6
+        assert trace.rate_at(100.0) == 2e6
+        assert trace.min_rate() == 1e6
+        assert trace.max_rate() == 3e6
+        # Time-weighted: each rate holds for 2 s of the 6 s span.
+        assert trace.mean_rate() == pytest.approx((1e6 + 3e6 + 2e6) / 3)
+        assert len(trace) == 3
+        assert trace.samples() == [(0.0, 1e6), (2.0, 3e6), (4.0, 2e6)]
+
+    def test_digest_ignores_name_and_source(self):
+        a = LinkTrace(times=[0.0], rates=[1e6], duration=1.0, name="a", source="x")
+        b = LinkTrace(times=[0.0], rates=[1e6], duration=1.0, name="b", source="y")
+        c = LinkTrace(times=[0.0], rates=[2e6], duration=1.0)
+        assert a.digest == b.digest == trace_digest([0.0], [1e6], 1.0)
+        assert a.digest != c.digest
+
+    def test_payload_round_trip_preserves_digest(self):
+        trace = LinkTrace(times=[0.0, 1.5], rates=[1e6, 2e6], duration=3.0, name="t")
+        clone = LinkTrace.from_payload(trace.to_payload())
+        assert clone.digest == trace.digest
+        assert clone.samples() == trace.samples()
+        assert clone.name == "t"
+
+    def test_payload_digest_mismatch_is_rejected(self):
+        payload = LinkTrace(times=[0.0], rates=[1e6], duration=1.0).to_payload()
+        payload["rates"] = [2e6]
+        with pytest.raises(ConfigurationError):
+            LinkTrace.from_payload(payload)
+
+
+class TestParsers:
+    def test_samples_text(self):
+        trace = parse_samples_text("# hdr\n0 1e6\n1.0, 2e6\n\n2.0 3e6 # tail\n")
+        assert trace.samples() == [(0.0, 1e6), (1.0, 2e6), (2.0, 3e6)]
+
+    def test_samples_text_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            parse_samples_text("0 1e6 extra\n")
+        with pytest.raises(ConfigurationError):
+            parse_samples_text("zero 1e6\n")
+        with pytest.raises(ConfigurationError):
+            parse_samples_text("# only comments\n")
+
+    def test_mahimahi_binning(self):
+        # 10 packets in [0, 100) ms and 20 in [100, 200) ms at 12 kbit each:
+        # 1.2 Mbps then 2.4 Mbps.
+        stamps = [i * 10 for i in range(10)] + [100 + i * 5 for i in range(20)]
+        trace = parse_mahimahi_text("\n".join(map(str, stamps)), bin_ms=100)
+        assert len(trace) == 2
+        assert trace.rates[0] == pytest.approx(1_200_000.0)
+        assert trace.rates[1] == pytest.approx(2_400_000.0)
+        assert trace.duration == pytest.approx(0.2)
+
+    def test_mahimahi_empty_bins_floor_at_positive_rate(self):
+        trace = parse_mahimahi_text("0\n500\n", bin_ms=100)
+        assert len(trace) == 6
+        assert all(rate > 0 for rate in trace.rates)
+
+    def test_mahimahi_rejects_decreasing_timestamps(self):
+        with pytest.raises(ConfigurationError):
+            parse_mahimahi_text("5\n3\n")
+        with pytest.raises(ConfigurationError):
+            parse_mahimahi_text("-1\n")
+
+    def test_auto_detect(self, tmp_path):
+        mahi = tmp_path / "a.trace"
+        mahi.write_text("0\n10\n20\n")
+        samples = tmp_path / "b.trace"
+        samples.write_text("0 1e6\n1 2e6\n")
+        assert load_trace_path(mahi).source.endswith("a.trace")
+        assert len(load_trace_path(samples)) == 2
+        with pytest.raises(ConfigurationError):
+            load_trace_path(tmp_path / "missing.trace")
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("family", sorted(GENERATOR_FAMILIES))
+    def test_deterministic_per_seed(self, family):
+        params = {"duration": 20.0}
+        assert (
+            build_generator(family, params).build(3).digest
+            == build_generator(family, params).build(3).digest
+        )
+        assert (
+            build_generator(family, params).build(3).digest
+            != build_generator(family, params).build(4).digest
+        )
+
+    def test_unknown_family_and_param(self):
+        with pytest.raises(ConfigurationError):
+            build_generator("nope")
+        with pytest.raises(ConfigurationError):
+            build_generator("diurnal", {"frequency": 2.0})
+
+    def test_markov_visits_both_states(self):
+        trace = build_generator(
+            "markov_onoff", {"duration": 60.0, "mean_on_s": 2.0, "mean_off_s": 2.0}
+        ).build(1)
+        rates = {r for _, r in trace.samples()}
+        assert len(rates) == 2
+
+
+class TestCorpusStore:
+    def test_ingest_describe_round_trip_preserves_digest(self, tmp_path):
+        store = CorpusStore(tmp_path)
+        entry = store.ingest(FIXTURE, name="fixture")
+        described = store.describe("fixture")
+        loaded = store.get("fixture")
+        assert described["digest"] == entry["digest"] == loaded.digest
+        assert described["kind"] == "trace"
+
+    def test_same_content_shares_one_blob(self, tmp_path):
+        store = CorpusStore(tmp_path)
+        a = store.ingest(FIXTURE, name="a")
+        b = store.ingest(FIXTURE, name="b")
+        assert a["digest"] == b["digest"]
+        assert len(list((tmp_path / "traces").glob("*.json"))) == 1
+
+    def test_lookup_by_digest(self, tmp_path):
+        store = CorpusStore(tmp_path)
+        entry = store.ingest(FIXTURE, name="fixture")
+        assert store.get(entry["digest"]).digest == entry["digest"]
+        with pytest.raises(ConfigurationError):
+            store.get("no-such-entry")
+
+    def test_corrupt_blob_is_quarantined_and_generator_rebuilds(self, tmp_path):
+        store = CorpusStore(tmp_path)
+        entry = store.register_generator("mk", "markov_onoff", {"duration": 15.0}, seed=2)
+        blob = store.blob_path(entry["digest"])
+        blob.write_text("{torn")
+        rebuilt = store.get("mk")
+        assert rebuilt.digest == entry["digest"]
+        assert (tmp_path / "quarantine" / blob.name).exists()
+
+    def test_missing_ingested_blob_is_an_error_naming_the_source(self, tmp_path):
+        store = CorpusStore(tmp_path)
+        entry = store.ingest(FIXTURE, name="fixture")
+        store.blob_path(entry["digest"]).unlink()
+        with pytest.raises(ConfigurationError, match="re-ingest"):
+            store.get("fixture")
+
+    def test_manifest_is_byte_stable(self, tmp_path):
+        store = CorpusStore(tmp_path)
+        store.ingest(FIXTURE, name="fixture")
+        first = store.manifest_path.read_bytes()
+        store.ingest(FIXTURE, name="fixture")
+        assert store.manifest_path.read_bytes() == first
+
+
+class TestCorpusCli:
+    def test_ingest_list_describe_generate(self, tmp_path, capsys):
+        root = str(tmp_path)
+        assert corpus_main(["--corpus-dir", root, "ingest", str(FIXTURE)]) == 0
+        ingest_out = capsys.readouterr().out
+        assert "digest=" in ingest_out
+
+        assert corpus_main(["--corpus-dir", root, "list"]) == 0
+        assert "mahimahi_small" in capsys.readouterr().out
+
+        assert corpus_main(["--corpus-dir", root, "describe", "mahimahi_small"]) == 0
+        describe_out = capsys.readouterr().out
+        digest = json.loads(
+            (tmp_path / "manifest.json").read_text()
+        )["entries"]["mahimahi_small"]["digest"]
+        assert digest in describe_out  # describe reports the exact digest
+
+        assert (
+            corpus_main(
+                [
+                    "--corpus-dir", root, "generate", "flash_crowd",
+                    "--name", "crowd", "--seed", "3", "--set", "duration=30.0",
+                ]
+            )
+            == 0
+        )
+        assert corpus_main(["--corpus-dir", root, "describe", "crowd"]) == 0
+        assert "flash_crowd" in capsys.readouterr().out
+
+    def test_errors_exit_2(self, tmp_path, capsys):
+        root = str(tmp_path)
+        assert corpus_main(["--corpus-dir", root, "describe", "missing"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert corpus_main(["--corpus-dir", root, "ingest", str(tmp_path / "no.trace")]) == 2
+        capsys.readouterr()
+        bad = tmp_path / "bad.trace"
+        bad.write_text("5\n3\n")
+        assert corpus_main(["--corpus-dir", root, "ingest", str(bad)]) == 2
