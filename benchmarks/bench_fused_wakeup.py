@@ -1,0 +1,165 @@
+"""Benchmark: the fused wake-up kernel and the batched sender pool.
+
+Two records back the fused engine's perf bar:
+
+* ``BENCH_planner.json`` gains ``vectorized_wakeup`` / ``fused_wakeup`` —
+  the full ISender wake-up loop body (``record_send`` → ``update`` →
+  ``decide``) at the 512-hypothesis cap in the paper's deep-buffer
+  regime, where the fused frontier drains whole departure runs in one
+  pass.  Gate: fused ≥1.5× the unfused vectorized path, identical chosen
+  action, expected utilities within the documented 1e-9 relative
+  tolerance (measured 0: the fused belief's posterior is bit-identical).
+* ``BENCH_engine.json`` gains ``per_sender_vectorized_64`` /
+  ``pooled_fused_64`` — 64 senders deciding via one
+  ``BatchedSenderPool.decide_all`` (sender × action × hypothesis) frontier
+  vs the per-sender vectorized decide loop.  Gate: ≥5× aggregate with
+  every sender's decision unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fused_bench import (
+    FusedWakeupConfig,
+    PoolBenchConfig,
+    run_fused_wakeup_comparison,
+    run_pool_comparison,
+)
+from repro.metrics.summary import ExperimentRow, format_table
+
+#: The acceptance floor for the fused kernel on the full wake-up path.
+MIN_FUSED_SPEEDUP = 1.5
+
+#: The acceptance floor for the pooled 64-sender aggregate decide.
+MIN_POOL_SPEEDUP = 5.0
+
+#: Documented cross-backend tolerance (relative) on expected utilities.
+MAX_UTILITY_DIVERGENCE = 1e-9
+
+
+def test_fused_wakeup_speedup(table_printer, bench_record):
+    """Fused vs unfused-vectorized full wake-ups on the deep-buffer state."""
+    config = FusedWakeupConfig()
+    comparison = run_fused_wakeup_comparison(config, rounds=4)
+    vectorized, fused = comparison.vectorized, comparison.fused
+
+    per_wake_ms = 1000.0 / config.decisions
+    table_printer(
+        format_table(
+            [
+                ExperimentRow(
+                    label=result.backend,
+                    values={
+                        "wall_time (s)": result.wall_time_s,
+                        "ms/wakeup": result.wall_time_s * per_wake_ms,
+                        "wakeups": result.wakeups,
+                    },
+                )
+                for result in (vectorized, fused)
+            ],
+            title=(
+                f"Full wake-up at {config.max_hypotheses} hypotheses, "
+                f"{config.burst}-packet standing queue "
+                f"(speedup {comparison.speedup:.2f}x)"
+            ),
+        )
+    )
+
+    bench_record(
+        "planner",
+        entries={
+            "vectorized_wakeup": (
+                {
+                    "wall_time_s": vectorized.wall_time_s,
+                    "wakeups": vectorized.wakeups,
+                },
+                {"backend": "vectorized", "burst": config.burst},
+            ),
+            "fused_wakeup": (
+                {
+                    "wall_time_s": fused.wall_time_s,
+                    "wakeups": fused.wakeups,
+                    "speedup_vs_vectorized": comparison.speedup,
+                    "max_utility_divergence": comparison.max_utility_divergence,
+                    "decisions_match": float(comparison.decisions_match),
+                },
+                {"backend": "fused", "burst": config.burst},
+            ),
+        },
+        gates={
+            "fused_wakeup.speedup_vs_vectorized": {"min": MIN_FUSED_SPEEDUP},
+            "fused_wakeup.max_utility_divergence": {"max": MAX_UTILITY_DIVERGENCE},
+            "fused_wakeup.decisions_match": {"min": 1.0},
+        },
+    )
+
+    assert comparison.decisions_match, (
+        f"backends disagree: vectorized delay {vectorized.chosen_delay!r} "
+        f"vs fused {fused.chosen_delay!r}"
+    )
+    assert comparison.max_utility_divergence <= MAX_UTILITY_DIVERGENCE
+    assert comparison.speedup >= MIN_FUSED_SPEEDUP, (
+        f"fused wake-up only {comparison.speedup:.2f}x faster "
+        f"(target {MIN_FUSED_SPEEDUP:.1f}x)"
+    )
+
+
+def test_pooled_decide_speedup(table_printer, bench_record):
+    """64-sender pooled decide_all vs the per-sender vectorized loop."""
+    config = PoolBenchConfig()
+    comparison = run_pool_comparison(config)
+    per_sender, pooled = comparison.per_sender, comparison.pooled
+
+    per_pass_ms = 1000.0 / config.passes
+    table_printer(
+        format_table(
+            [
+                ExperimentRow(
+                    label=result.strategy,
+                    values={
+                        "wall_time (s)": result.wall_time_s,
+                        "ms/pass": result.wall_time_s * per_pass_ms,
+                        "senders": result.senders,
+                    },
+                )
+                for result in (per_sender, pooled)
+            ],
+            title=(
+                f"Aggregate decide over {config.senders} senders "
+                f"(speedup {comparison.speedup:.2f}x)"
+            ),
+        )
+    )
+
+    bench_record(
+        "engine",
+        entries={
+            "per_sender_vectorized_64": (
+                {
+                    "wall_time_s": per_sender.wall_time_s,
+                    "passes": per_sender.passes,
+                    "senders": per_sender.senders,
+                },
+                {"strategy": "per_sender_loop", "rollout_backend": "vectorized"},
+            ),
+            "pooled_fused_64": (
+                {
+                    "wall_time_s": pooled.wall_time_s,
+                    "passes": pooled.passes,
+                    "senders": pooled.senders,
+                    "speedup_vs_per_sender": comparison.speedup,
+                    "decisions_match": float(comparison.decisions_match),
+                },
+                {"strategy": "pooled_decide_all", "rollout_backend": "fused"},
+            ),
+        },
+        gates={
+            "pooled_fused_64.speedup_vs_per_sender": {"min": MIN_POOL_SPEEDUP},
+            "pooled_fused_64.decisions_match": {"min": 1.0},
+        },
+    )
+
+    assert comparison.decisions_match, "pooled decisions diverged from per-sender"
+    assert comparison.speedup >= MIN_POOL_SPEEDUP, (
+        f"pooled decide_all only {comparison.speedup:.2f}x faster "
+        f"(target {MIN_POOL_SPEEDUP:.0f}x)"
+    )

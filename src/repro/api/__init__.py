@@ -44,6 +44,7 @@ _LAZY_EXPORTS = {
     "build_sender": ("repro.api.sender", "build_sender"),
     "build_components": ("repro.api.sender", "build_components"),
     "SenderParts": ("repro.api.sender", "SenderParts"),
+    "BatchedSenderPool": ("repro.api.pool", "BatchedSenderPool"),
     "PolicyTable": ("repro.api.policy", "PolicyTable"),
     "precompute_policy_table": ("repro.api.policy", "precompute_policy_table"),
     "load_or_precompute_policy_table": (
@@ -60,6 +61,7 @@ __all__ = [
     "BELIEF_BACKENDS",
     "ROLLOUT_BACKENDS",
     "BackendRegistry",
+    "BatchedSenderPool",
     "KERNELS",
     "POLICY_MODES",
     "PolicyTable",

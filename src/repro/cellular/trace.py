@@ -93,6 +93,23 @@ class RateProcess:
         index = min(max(index, 0), len(self._rates) - 1)
         return self._rates[index]
 
+    def segments_from(self, start: float):
+        """Yield ``(rate, segment_end)`` from the segment containing ``start``.
+
+        The same end-clamping as :meth:`rate_at`: the first yielded rate is
+        ``rate_at(start)``, and the final segment is unbounded
+        (``segment_end = math.inf``) because the trace holds its last rate
+        forever.  This is the iterator a link uses to integrate a packet's
+        serialization across rate-step boundaries instead of freezing the
+        rate sampled when service began.
+        """
+        index = bisect_right(self._times, start) - 1
+        index = min(max(index, 0), len(self._rates) - 1)
+        while index + 1 < len(self._times):
+            yield self._rates[index], self._times[index + 1]
+            index += 1
+        yield self._rates[index], math.inf
+
     def mean_rate(self) -> float:
         """Arithmetic mean of the generated trace (cached at construction)."""
         return self._mean_rate

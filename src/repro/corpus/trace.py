@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from bisect import bisect_right
 from typing import Iterable, Mapping, Optional, Sequence
 
@@ -154,6 +155,22 @@ class LinkTrace:
         index = bisect_right(self.times, time) - 1
         index = min(max(index, 0), len(self.rates) - 1)
         return self.rates[index]
+
+    def segments_from(self, start: float):
+        """Yield ``(rate, segment_end)`` from the segment containing ``start``.
+
+        Mirrors :meth:`repro.cellular.trace.RateProcess.segments_from` so
+        both rate-process flavors drive the same segment-integrating link
+        code: the first yielded rate equals ``rate_at(start)`` and the last
+        segment is unbounded (``segment_end = math.inf``), matching
+        :meth:`rate_at`'s end clamping.
+        """
+        index = bisect_right(self.times, start) - 1
+        index = min(max(index, 0), len(self.rates) - 1)
+        while index + 1 < len(self.times):
+            yield self.rates[index], self.times[index + 1]
+            index += 1
+        yield self.rates[index], math.inf
 
     def mean_rate(self) -> float:
         """Time-weighted mean rate over the trace's duration."""

@@ -1,0 +1,474 @@
+"""Benchmarks for the fused wake-up kernel and the batched sender pool.
+
+Two measurements back the fused engine's perf bar:
+
+* **Single-sender wake-up** — the full ISender wake-up loop body
+  (``record_send`` → ``update`` → ``decide``) on a belief at the
+  512-hypothesis cap, fused vs unfused-vectorized, in the paper's
+  deep-buffer regime: a bufferbloat-scale queue (tens of packets standing
+  per hypothesis) with sparse cross traffic.  This is where the fusion
+  pays: the fused belief replaces the per-row Python dict compaction with
+  one ``np.unique`` grouping, the fused decide skips the ``RolloutLanes``
+  repack by aliasing ensemble rows straight into the rollout frontier, and
+  — the big one — the fused frontier *drains* back-to-back service
+  completions in a single pass, so a deep queue costs a handful of
+  frontier iterations instead of one per departure.
+* **Aggregate 64-sender decide** — one
+  :meth:`~repro.api.pool.BatchedSenderPool.decide_all` advancing all
+  (sender × action × hypothesis) lanes through a single pooled frontier,
+  vs the per-sender loop of unfused vectorized decides the many-flow
+  scenario used to run.
+
+Both comparisons hold the decision semantics fixed: the fused results must
+match the unfused ones (bit-identical posteriors; identical chosen actions;
+1e-9-rel utilities), so the timed speedup is pure execution, not changed
+work.
+
+Used by ``benchmarks/bench_fused_wakeup.py`` (which extends the
+``BENCH_planner.json`` / ``BENCH_engine.json`` regression records) and
+runnable standalone::
+
+    PYTHONPATH=src python -m repro.experiments.fused_bench
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.api.config import SenderConfig
+from repro.api.pool import BatchedSenderPool
+from repro.api.sender import SenderParts, build_components
+from repro.core import AlphaWeightedUtility, ExpectedUtilityPlanner
+from repro.experiments.inference_bench import (
+    SEND,
+    InferenceBenchConfig,
+    build_workload,
+)
+from repro.inference import (
+    AckObservation,
+    BeliefState,
+    GaussianKernel,
+    figure3_prior,
+    single_link_prior,
+)
+from repro.units import DEFAULT_PACKET_BITS
+
+#: Sequence-number base for bench-issued sends, clear of every warm-up seq.
+_BENCH_SEQ_BASE = 2_000_000
+
+
+# ------------------------------------------------------------ fused wake-up
+
+
+@dataclass(frozen=True)
+class FusedWakeupConfig:
+    """Shape of the deep-buffer wake-up state and the timed loop.
+
+    The state mirrors :class:`~repro.experiments.planner_bench.
+    PlannerBenchConfig` — a belief at the 512-hypothesis cap, converged on
+    a Figure-3-style workload — but moves the regime from the planner
+    bench's shallow §4 buffers (72–108 kbit, ~1:1 service/cross
+    alternation) to the bufferbloat regime the paper opens with: buffers
+    deep enough to hold the whole send burst (tens of packets standing in
+    every hypothesis's queue) and sparse cross traffic.  There the rollout
+    frontier is dominated by long runs of back-to-back departures, which
+    the fused kernel drains in one pass per run instead of one masked
+    iteration per packet.
+    """
+
+    top_k: int = 24
+    max_hypotheses: int = 512
+    #: Warm-up workload (shared with the inference bench machinery).
+    duration: float = 12.0
+    update_interval: float = 1.0
+    send_interval: float = 0.5
+    packet_bits: float = DEFAULT_PACKET_BITS
+    true_link_rate_bps: float = 12_000.0
+    true_cross_fraction: float = 0.03
+    kernel_sigma: float = 0.4
+    #: Send burst queued at the decision time: 128 × 8 kbit ≈ 1 Mbit of
+    #: standing queue — the bufferbloat depth the fused drain targets
+    #: (still shallow next to the paper's measured multi-second buffers).
+    burst: int = 128
+    #: Prior resolution: narrow on the (identified) link speed, near-zero
+    #: cross traffic (the Figure-2 single-flow regime — the standing queue
+    #: is self-inflicted), wide on loss/buffer/fill — 2*2*8*4*2 = 512.
+    link_rate_low: float = 11_000.0
+    link_rate_high: float = 13_000.0
+    link_rate_points: int = 2
+    cross_fraction_low: float = 0.0
+    cross_fraction_high: float = 0.06
+    cross_fraction_points: int = 2
+    loss_points: int = 8
+    #: Deep buffers: 1.15–1.3 Mbit (~145–160 packets) hold the full burst.
+    buffer_low: float = 1_150_000.0
+    buffer_high: float = 1_300_000.0
+    buffer_points: int = 4
+    fill_points: int = 2
+    #: Timed wake-ups per round, and the wall-clock step between them.
+    decisions: int = 12
+    wake_interval: float = 0.05
+
+    @property
+    def alpha_utility(self) -> AlphaWeightedUtility:
+        """The Figure-3 utility used for every timed decision."""
+        return AlphaWeightedUtility(alpha=1.0, discount_timescale=20.0)
+
+
+def build_wakeup_state(config: FusedWakeupConfig, belief_backend: str) -> BeliefState:
+    """A belief at the cap carrying a bufferbloat-deep queued burst."""
+    workload = InferenceBenchConfig(
+        max_hypotheses=config.max_hypotheses,
+        duration=config.duration,
+        update_interval=config.update_interval,
+        send_interval=config.send_interval,
+        packet_bits=config.packet_bits,
+        true_link_rate_bps=config.true_link_rate_bps,
+        true_cross_rate_pps=(
+            config.true_cross_fraction * config.true_link_rate_bps / config.packet_bits
+        ),
+        kernel_sigma=config.kernel_sigma,
+    )
+    prior = figure3_prior(
+        link_rate_low=config.link_rate_low,
+        link_rate_high=config.link_rate_high,
+        link_rate_points=config.link_rate_points,
+        cross_fraction_low=config.cross_fraction_low,
+        cross_fraction_high=config.cross_fraction_high,
+        cross_fraction_points=config.cross_fraction_points,
+        loss_points=config.loss_points,
+        buffer_low=config.buffer_low,
+        buffer_high=config.buffer_high,
+        buffer_points=config.buffer_points,
+        fill_points=config.fill_points,
+        packet_bits=config.packet_bits,
+    )
+    belief = BeliefState.from_prior(
+        prior,
+        kernel=GaussianKernel(sigma=config.kernel_sigma),
+        max_hypotheses=config.max_hypotheses,
+        backend=belief_backend,
+    )
+    for kind, args in build_workload(workload):
+        if kind == SEND:
+            belief.record_send(*args)
+        else:
+            belief.update(*args)
+    burst_base = 1_000_000  # clear of every warm-up sequence number
+    for index in range(config.burst):
+        belief.record_send(burst_base + index, config.packet_bits, config.duration)
+    belief.update(config.duration)
+    return belief
+
+
+@dataclass
+class WakeupBackendResult:
+    """Measurements from timing one backend's full wake-up loop body."""
+
+    backend: str
+    wall_time_s: float
+    wakeups: int
+    chosen_delay: float
+    expected_utilities: dict[float, float] = field(default_factory=dict)
+
+
+@dataclass
+class FusedWakeupComparison:
+    """Fused vs unfused-vectorized full wake-ups on identical state."""
+
+    config: FusedWakeupConfig
+    vectorized: WakeupBackendResult
+    fused: WakeupBackendResult
+
+    @property
+    def speedup(self) -> float:
+        return self.vectorized.wall_time_s / self.fused.wall_time_s
+
+    @property
+    def max_utility_divergence(self) -> float:
+        """Largest relative expected-utility difference across the grid."""
+        unfused = self.vectorized.expected_utilities
+        fused = self.fused.expected_utilities
+        if set(unfused) != set(fused):
+            return float("inf")
+        worst = 0.0
+        for delay, value in unfused.items():
+            scale = max(1.0, abs(value))
+            worst = max(worst, abs(fused[delay] - value) / scale)
+        return worst
+
+    @property
+    def decisions_match(self) -> bool:
+        return self.fused.chosen_delay == self.vectorized.chosen_delay
+
+
+def _time_wakeups(
+    backend: str,
+    belief,
+    config: FusedWakeupConfig,
+    seq_base: int,
+    start: float,
+) -> WakeupBackendResult:
+    """Time ``config.decisions`` full wake-ups through one engine.
+
+    Each iteration advances the clock by ``config.wake_interval`` and runs
+    the ISender wake-up body — ``record_send`` (one new outstanding
+    packet), ``update`` (the full fork/advance/score/compact/prune pipeline
+    over the capped ensemble), ``decide`` (the top-k × action-grid rollout
+    fan-out) — so the measurement covers exactly what one sender pays per
+    wake, not the decide in isolation.  The advancing clock matters: a wake
+    at a frozen ``now`` never forks or compacts, which would idle the very
+    stages the fused engine rebuilds.
+    """
+    planner = ExpectedUtilityPlanner(
+        config.alpha_utility,
+        packet_bits=config.packet_bits,
+        top_k=config.top_k,
+        rollout_backend=backend,
+    )
+    # One untimed wake warms caches and allocators; it mutates the belief,
+    # but every backend replays the identical script, so the states stay
+    # paired (``seq_base`` reserves index 0 for this warm wake).
+    now = start + config.wake_interval
+    belief.record_send(seq_base, config.packet_bits, now)
+    belief.update(now)
+    decision = planner.decide(belief, now)
+    started = time.perf_counter()
+    for index in range(1, config.decisions + 1):
+        now += config.wake_interval
+        belief.record_send(seq_base + index, config.packet_bits, now)
+        belief.update(now)
+        decision = planner.decide(belief, now)
+    elapsed = time.perf_counter() - started
+    return WakeupBackendResult(
+        backend=backend,
+        wall_time_s=elapsed,
+        wakeups=config.decisions,
+        chosen_delay=decision.delay,
+        expected_utilities=dict(decision.expected_utilities),
+    )
+
+
+def run_fused_wakeup_comparison(
+    config: FusedWakeupConfig | None = None, rounds: int = 3
+) -> FusedWakeupComparison:
+    """Time fused vs unfused full wake-ups; keep each backend's best round.
+
+    Each backend runs over its own belief built from the identical warm-up
+    workload (bit-identical posteriors by the fused backend's contract),
+    and every round applies the same send/update/decide script to both —
+    same sequence numbers, same advancing clock — so rounds stay paired
+    even though the script mutates the beliefs.
+    """
+    config = config or FusedWakeupConfig()
+    beliefs = {
+        backend: build_wakeup_state(config, backend)
+        for backend in ("vectorized", "fused")
+    }
+    best: dict[str, WakeupBackendResult] = {}
+    rounds = max(1, rounds)
+    wakes_per_round = config.decisions + 1  # + the untimed warm wake
+    for round_index in range(rounds):
+        seq_base = _BENCH_SEQ_BASE + round_index * wakes_per_round
+        start = config.duration + round_index * (
+            wakes_per_round * config.wake_interval
+        )
+        for backend in ("fused", "vectorized"):
+            result = _time_wakeups(
+                backend, beliefs[backend], config, seq_base, start
+            )
+            kept = best.get(backend)
+            if kept is None or result.wall_time_s < kept.wall_time_s:
+                best[backend] = result
+    # Equivalence is judged on one final *paired* decide: both beliefs have
+    # replayed the identical script through every round, so their end
+    # states correspond — the per-backend best rounds need not.
+    final_now = config.duration + rounds * wakes_per_round * config.wake_interval
+    for backend in ("fused", "vectorized"):
+        planner = ExpectedUtilityPlanner(
+            config.alpha_utility,
+            packet_bits=config.packet_bits,
+            top_k=config.top_k,
+            rollout_backend=backend,
+        )
+        decision = planner.decide(beliefs[backend], final_now)
+        best[backend].chosen_delay = decision.delay
+        best[backend].expected_utilities = dict(decision.expected_utilities)
+    return FusedWakeupComparison(
+        config=config, vectorized=best["vectorized"], fused=best["fused"]
+    )
+
+
+# ------------------------------------------------------- pooled sender decide
+
+
+@dataclass(frozen=True)
+class PoolBenchConfig:
+    """Shape of the 64-sender aggregate-decide measurement."""
+
+    senders: int = 64
+    top_k: int = 8
+    packet_bits: float = DEFAULT_PACKET_BITS
+    #: Per-sender warm-up script length (sends with periodic acks).
+    warmup_steps: int = 24
+    #: Timed ``decide_all`` (or per-sender loop) passes.
+    passes: int = 5
+    #: Per-sender prior resolution: 7 rates × 3 fills = 21 hypotheses
+    #: before forking — small enough that per-decide overhead, not raw
+    #: lane arithmetic, dominates the per-sender loop (the regime the
+    #: many-flow scenario is in).
+    link_rate_points: int = 7
+    fill_points: int = 3
+    buffer_capacity_bits: float = 8_000_000.0
+
+
+@dataclass
+class PoolBackendResult:
+    """Measurements from timing one aggregate-decide strategy."""
+
+    strategy: str
+    wall_time_s: float
+    passes: int
+    senders: int
+    chosen_delays: list[float] = field(default_factory=list)
+
+
+@dataclass
+class PoolComparison:
+    """Pooled ``decide_all`` vs the per-sender unfused decide loop."""
+
+    config: PoolBenchConfig
+    per_sender: PoolBackendResult
+    pooled: PoolBackendResult
+
+    @property
+    def speedup(self) -> float:
+        return self.per_sender.wall_time_s / self.pooled.wall_time_s
+
+    @property
+    def decisions_match(self) -> bool:
+        return self.pooled.chosen_delays == self.per_sender.chosen_delays
+
+
+def _pool_config(backend: str, config: PoolBenchConfig) -> SenderConfig:
+    return SenderConfig(
+        belief_backend=backend,
+        rollout_backend=backend,
+        policy="none",
+        packet_bits=config.packet_bits,
+        top_k=config.top_k,
+    )
+
+
+def _pool_priors(config: PoolBenchConfig):
+    """Heterogeneous per-sender priors (each sender spans different rates)."""
+    return [
+        single_link_prior(
+            link_rate_low=1.5e5 * (1 + index % 7),
+            link_rate_high=1.5e6 * (1 + index % 7),
+            link_rate_points=config.link_rate_points,
+            buffer_capacity_bits=config.buffer_capacity_bits,
+            fill_points=config.fill_points,
+            packet_bits=config.packet_bits,
+        )
+        for index in range(config.senders)
+    ]
+
+
+def _warm_senders(parts_list: list[SenderParts], config: PoolBenchConfig) -> float:
+    """Drive every sender through the identical send/ack script; return now."""
+    now = 0.0
+    for step in range(config.warmup_steps):
+        now += 0.03 + 0.01 * (step % 5)
+        for parts in parts_list:
+            parts.belief.record_send(step, config.packet_bits, now)
+        acks = []
+        if step % 3 == 2:
+            acks = [
+                AckObservation(seq=step - 1, received_at=now - 0.004, ack_at=now)
+            ]
+        for parts in parts_list:
+            parts.belief.update(now, acks)
+    return now + 0.05
+
+
+def run_pool_comparison(config: PoolBenchConfig | None = None) -> PoolComparison:
+    """Time the pooled decide against the per-sender unfused loop.
+
+    The per-sender baseline is the many-flow scenario's historical shape:
+    N independent ``build_components`` senders, each deciding through the
+    unfused vectorized engine.  The pooled side drives the same N senders
+    (same priors, same warm-up script) through one
+    ``BatchedSenderPool.decide_all`` — a single (sender × action ×
+    hypothesis) frontier per pass.
+    """
+    config = config or PoolBenchConfig()
+    baseline_parts = [
+        build_components(_pool_config("vectorized", config), prior)
+        for prior in _pool_priors(config)
+    ]
+    pool = BatchedSenderPool(_pool_config("fused", config), _pool_priors(config))
+    now = _warm_senders(baseline_parts, config)
+    assert _warm_senders(list(pool), config) == now
+
+    # Warm both paths once (allocators, lazy imports) before timing.
+    baseline_decisions = [
+        parts.planner.decide(parts.belief, now) for parts in baseline_parts
+    ]
+    pooled_decisions = pool.decide_all(now)
+
+    started = time.perf_counter()
+    for _ in range(config.passes):
+        baseline_decisions = [
+            parts.planner.decide(parts.belief, now) for parts in baseline_parts
+        ]
+    per_sender_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(config.passes):
+        pooled_decisions = pool.decide_all(now)
+    pooled_elapsed = time.perf_counter() - started
+
+    return PoolComparison(
+        config=config,
+        per_sender=PoolBackendResult(
+            strategy="per_sender_vectorized",
+            wall_time_s=per_sender_elapsed,
+            passes=config.passes,
+            senders=config.senders,
+            chosen_delays=[decision.delay for decision in baseline_decisions],
+        ),
+        pooled=PoolBackendResult(
+            strategy="pooled_fused",
+            wall_time_s=pooled_elapsed,
+            passes=config.passes,
+            senders=config.senders,
+            chosen_delays=[decision.delay for decision in pooled_decisions],
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    wakeup = run_fused_wakeup_comparison()
+    per_wake = 1000.0 / wakeup.config.decisions
+    print(
+        f"vectorized wake-up : {wakeup.vectorized.wall_time_s * per_wake:8.2f} ms"
+    )
+    print(f"fused wake-up      : {wakeup.fused.wall_time_s * per_wake:8.2f} ms")
+    print(f"speedup            : {wakeup.speedup:8.2f} x")
+    print(f"max |ΔU|           : {wakeup.max_utility_divergence:8.2e} (relative)")
+    print(f"same action        : {wakeup.decisions_match}")
+    pool = run_pool_comparison()
+    per_pass = 1000.0 / pool.config.passes
+    print(
+        f"per-sender loop    : {pool.per_sender.wall_time_s * per_pass:8.2f} "
+        f"ms/pass ({pool.config.senders} senders)"
+    )
+    print(f"pooled decide_all  : {pool.pooled.wall_time_s * per_pass:8.2f} ms/pass")
+    print(f"aggregate speedup  : {pool.speedup:8.2f} x")
+    print(f"same actions       : {pool.decisions_match}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,172 @@
+"""The fused wake-up kernel: belief update and rollout on shared lane buffers.
+
+This module is the ``"fused"`` entry in both backend registries.  It fuses
+the two halves of an :class:`~repro.core.isender.ISender` wake-up that the
+``"vectorized"`` backends still run as separate passes with a repack in
+between:
+
+* :class:`FusedBeliefState` keeps the vectorized update's fork → advance →
+  score → compact → prune pipeline but replaces the one remaining Python
+  loop — the per-row ``dict`` compaction over ``bytes`` digests — with a
+  single ``np.unique`` grouping over the packed signature *matrix*
+  (:meth:`EnsembleState.signature_matrix`), merging weights with a
+  sequential ``np.add.at``.  Posteriors are bit-identical to the unfused
+  backend: the grouping relation is the same byte-equality, groups keep
+  first-occurrence order, and ``0.0 + w == w`` makes the zero-initialized
+  scatter-add reproduce the dict loop's append-then-``+=`` additions
+  exactly.
+* :func:`decide_fused` is the planner half: the belief's top-k rows flow
+  straight into :func:`~repro.inference.vectorized.rollout.batched_rollout_rows`
+  through :meth:`EnsembleState.lane_arrays` — no intermediate
+  :class:`~repro.inference.vectorized.rollout.RolloutLanes` repack — and the
+  decide tail (utility, aggregation, tie handling) is the literal code the
+  unfused backend runs (:func:`~repro.inference.vectorized.rollout._finish_decide`).
+
+Both stage-hook surfaces are preserved: the belief fires the same
+``fork``/``advance``/``score``/``compact``/``prune``/``posterior`` hooks
+with the same payloads (the update pipeline is inherited), and the decide
+path fires ``summary``/``lanes``/``rollout``/``utility``/``decision``
+probes — the ``lanes`` checkpoint packs a ``RolloutLanes`` view lazily,
+only when a probe is installed, so triage keeps localizing without taxing
+the hot path.
+
+The (sender × action × hypothesis) generalization lives in
+:class:`repro.api.pool.BatchedSenderPool`, which drives many fused beliefs'
+fan-outs through one :func:`batched_rollout_blocks` frontier.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.api.backends import BELIEF_BACKENDS, ROLLOUT_BACKENDS
+from repro.inference.vectorized.belief import VectorizedBeliefState
+from repro.inference.vectorized.rollout import (
+    _finish_decide,
+    batched_rollout_rows,
+    decide_vectorized,
+    pack_rows,
+)
+from repro.inference.vectorized.state import EnsembleState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.planner import Decision, ExpectedUtilityPlanner
+    from repro.inference.belief import BeliefState
+
+
+class FusedBeliefState(VectorizedBeliefState):
+    """A :class:`VectorizedBeliefState` with fully vectorized compaction.
+
+    Every inherited stage is unchanged; only ``_compact_rows`` differs, and
+    only in *how* it groups — ``np.unique`` over the signature matrix's
+    rows viewed as opaque fixed-width byte scalars, instead of a Python
+    ``dict`` over per-row ``bytes``.  Equal bytes group together under both,
+    so the partition is identical; the ordering and additions are arranged
+    to match the dict loop's exactly (see ``_compact_rows``).
+    """
+
+    backend = "fused"
+
+    def _compact_rows(
+        self, state: EnsembleState, rows: np.ndarray, weights: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Merge rows whose latent state digests are identical — batched.
+
+        Bit-identical to the base class's dict loop:
+
+        * grouping: byte-equality of signature rows, the same relation the
+          ``bytes`` dict keys induce;
+        * order: groups are emitted in first-occurrence order
+          (``np.unique``'s ``return_index`` gives each group's first
+          position; a stable argsort over those restores encounter order);
+        * weights: ``np.add.at`` is unbuffered and iterates positions left
+          to right, so each group's weight accumulates in the identical
+          float-addition sequence — the first occurrence lands on the
+          zero-initialized slot (``0.0 + w == w`` exactly), later ones add
+          in candidate order, just like the dict loop's ``+=``.
+        """
+        if rows.size == 0:
+            return rows, weights
+        packed = state.signature_matrix(rows)
+        keys = np.ascontiguousarray(packed).view(
+            np.dtype((np.void, packed.shape[1]))
+        ).ravel()
+        _, first_position, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        if first_position.size == rows.size:
+            return rows, weights
+        self.compacted_away += int(rows.size - first_position.size)
+        order = np.argsort(first_position, kind="stable")
+        rank = np.empty(order.size, dtype=np.int64)
+        rank[order] = np.arange(order.size)
+        group = rank[np.asarray(inverse).ravel()]
+        merged = np.zeros(order.size, dtype=float)
+        np.add.at(merged, group, weights)
+        return rows[first_position[order]], merged
+
+
+def _prepare_decide(planner: "ExpectedUtilityPlanner", belief: "BeliefState", now: float):
+    """The pre-rollout half of a fused decide, shared with the sender pool.
+
+    Selects the top-k ensemble rows, summarizes them, derives the action
+    grid and horizon, and fires the ``summary``/``lanes`` probes.  Returns
+    ``(state, rows, summary, actions, horizon, probe)`` — everything needed
+    to build this sender's rollout fan-out, whether it runs alone
+    (:func:`decide_fused` → ``batched_rollout_rows``) or as one block of a
+    pooled (sender × action × hypothesis) pass
+    (``BatchedSenderPool.decide_all`` → ``batched_rollout_blocks``).  Both
+    callers then finish through the same ``_finish_decide`` tail, which is
+    what makes pooled decisions bit-identical to standalone fused ones.
+    """
+    rows, weights = belief.top_rows(planner.top_k)
+    state = belief.state
+    summary = planner._summarize_rows(state, rows, weights)
+    actions = planner.action_grid.actions(summary.service_time)
+    horizon = planner._horizon_from(summary)
+    probe = planner.decision_probe
+    if probe is not None:
+        probe(
+            "summary",
+            {
+                "service_time": summary.service_time,
+                "horizon": horizon,
+                "weights": list(summary.weights),
+                "actions": [action.delay for action in actions],
+            },
+        )
+        # The checkpoint needs a materialized lane view; pack one lazily so
+        # the probe-off hot path never pays for it.
+        probe("lanes", pack_rows(state, rows).checkpoint())
+    return state, rows, summary, actions, horizon, probe
+
+
+@ROLLOUT_BACKENDS.register("fused")
+def decide_fused(
+    planner: "ExpectedUtilityPlanner", belief: "BeliefState", now: float
+) -> "Decision":
+    """The fused decide path behind ``rollout_backend="fused"``.
+
+    The belief's top-k rows feed :func:`batched_rollout_rows` directly —
+    ``EnsembleState.lane_arrays`` gathers the (action × hypothesis) lane
+    buffers in one pass, skipping the ``RolloutLanes`` repack.  A scalar
+    belief has no ensemble rows to alias, so it falls back to the unfused
+    vectorized path (identical semantics, one extra pack).
+    """
+    if getattr(belief, "top_rows", None) is None:
+        return decide_vectorized(planner, belief, now)
+    state, rows, summary, actions, horizon, probe = _prepare_decide(planner, belief, now)
+    outcome = batched_rollout_rows(
+        state,
+        rows,
+        [action.delay for action in actions],
+        horizon,
+        planner.packet_bits,
+        now,
+    )
+    return _finish_decide(planner, summary, actions, horizon, outcome, probe)
+
+
+BELIEF_BACKENDS.register("fused", FusedBeliefState)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from repro.api.config import SenderConfig, canonical_digest
+from repro.api.pool import BatchedSenderPool
 from repro.api.sender import build_components
 from repro.baselines.aimd import AimdSender
 from repro.baselines.cubic import CubicSender
@@ -568,6 +569,7 @@ def many_flow_contention(
     fairness_window: float = 2.0,
     fairness_threshold: float = 0.9,
     per_flow_metrics: bool = False,
+    sender_pool: bool = False,
 ) -> dict[str, float]:
     """N concurrent flows through one shared buffer and trace-driven link.
 
@@ -584,12 +586,27 @@ def many_flow_contention(
 
         python -m repro.runner run many_flow_contention \\
             --set flows=16 --set isender_flows=4 --set duration=20
+
+    ``sender_pool=True`` builds the ISender flows' inference parts through
+    one :class:`~repro.api.pool.BatchedSenderPool` instead of N
+    independent ``build_components`` calls.  Construction — and therefore
+    every metric — is byte-identical to the independent path (the pool
+    calls ``build_components`` per prior, in flow order); it requires
+    ``isender_flows >= 1`` and a row-ensemble belief backend
+    (``vectorized`` or ``fused``), and exposes the pool's
+    batch-synchronous ``decide_all`` lanes to drivers that wake senders in
+    lockstep.
     """
     if flows < 1:
         raise ConfigurationError(f"flows must be at least 1, got {flows!r}")
     if not 0 <= isender_flows <= flows:
         raise ConfigurationError(
             f"isender_flows ({isender_flows!r}) must lie in [0, flows]"
+        )
+    if sender_pool and isender_flows < 1:
+        raise ConfigurationError(
+            "sender_pool=True needs at least one ISender flow "
+            f"(isender_flows={isender_flows!r})"
         )
     mix_kinds = [kind.strip() for kind in mix.split(",") if kind.strip()]
     unknown = sorted(set(mix_kinds) - set(MANY_FLOW_SENDER_KINDS))
@@ -635,6 +652,28 @@ def many_flow_contention(
         else None
     )
     fair_share = mean_rate / flows
+
+    def isender_prior():
+        return single_link_prior(
+            link_rate_low=fair_share / 4.0,
+            link_rate_high=fair_share * 4.0,
+            link_rate_points=7,
+            buffer_capacity_bits=buffer_bits,
+            fill_points=3,
+            packet_bits=packet_bits,
+        )
+
+    # The pooled path builds the identical per-flow parts (same priors, in
+    # flow order) through one BatchedSenderPool, so the scenario's results
+    # are byte-identical either way; the pool additionally validates the
+    # backend supports (sender × action × hypothesis) lanes.
+    pool = (
+        BatchedSenderPool(
+            isender_config, [isender_prior() for _ in range(isender_flows)]
+        )
+        if sender_pool
+        else None
+    )
     flow_names: list[str] = []
     flow_kinds: list[str] = []
     senders: list[Any] = []
@@ -650,16 +689,10 @@ def many_flow_contention(
         if kind == "isender":
             # A fresh belief/planner/policy per flow: senders must not
             # share mutable inference state.
-            parts = build_components(
-                isender_config,
-                single_link_prior(
-                    link_rate_low=fair_share / 4.0,
-                    link_rate_high=fair_share * 4.0,
-                    link_rate_points=7,
-                    buffer_capacity_bits=buffer_bits,
-                    fill_points=3,
-                    packet_bits=packet_bits,
-                ),
+            parts = (
+                pool.parts[index]
+                if pool is not None
+                else build_components(isender_config, isender_prior())
             )
             sender = ISender(
                 parts.belief,

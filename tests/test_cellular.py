@@ -202,3 +202,152 @@ class TestTraceDrivenLink:
         fast = sink.throughput_bps(6.0, 10.0)
         assert slow == pytest.approx(1e6, rel=0.05)
         assert fast == pytest.approx(4e6, rel=0.05)
+
+
+class TestSegmentIterators:
+    """`segments_from` on both rate-process flavors: the iterator the link
+    integrates service across."""
+
+    def test_link_trace_segments_cover_and_clamp(self):
+        from repro.corpus import LinkTrace
+
+        trace = LinkTrace(times=[0.0, 1.0, 2.0], rates=[8e6, 1e5, 4e6], duration=3.0)
+        assert list(trace.segments_from(0.5)) == [
+            (8e6, 1.0),
+            (1e5, 2.0),
+            (4e6, float("inf")),
+        ]
+        # Starting past the last sample yields only the unbounded tail.
+        assert list(trace.segments_from(9.0)) == [(4e6, float("inf"))]
+        # The first yielded rate always equals rate_at(start).
+        for start in (0.0, 0.9999, 1.0, 1.5, 100.0):
+            rate, _ = next(iter(trace.segments_from(start)))
+            assert rate == trace.rate_at(start)
+
+    def test_rate_process_segments_match_rate_at(self):
+        process = RateProcess(
+            nominal_bps=1e6, min_bps=1e5, max_bps=1e7, duration=5.0, seed=4
+        )
+        segments = list(process.segments_from(0.0))
+        assert segments[-1][1] == float("inf")
+        assert segments[0][0] == process.rate_at(0.0)
+        # Constant processes collapse to one unbounded segment.
+        constant = constant_rate_process(5e6)
+        assert list(constant.segments_from(0.0)) == [(5e6, float("inf"))]
+
+
+class TestTraceDrivenLinkSatellites:
+    """Regressions for the trace-link hot-path fixes: segment-integrated
+    service, the deep-fade rate floor, and the mean-rate nominal."""
+
+    def test_packet_straddling_sharp_rate_drop_pays_for_it(self):
+        from repro.cellular import TraceDrivenLink
+        from repro.corpus import LinkTrace
+
+        # 1 Mbps for 10 ms, then 10 kbps.  A 12 kbit packet starting at t=0
+        # drains 10 kbit in the fast segment and the remaining 2 kbit at
+        # 10 kbps: delivery at 0.01 + 2000/1e4 = 0.21 s.  The old one-sample
+        # service time would have finished the whole packet at the stale
+        # 1 Mbps (0.012 s), skipping the drop entirely.
+        trace = LinkTrace(times=[0.0, 0.01], rates=[1e6, 1e4], duration=10.0)
+        network = Network(seed=0)
+        link = TraceDrivenLink(trace, name="link")
+        sink = Collector(name="sink")
+        link.connect(sink)
+        network.add(link)
+        network.start()
+        link.receive(Packet(seq=0, flow="f", size_bits=12_000, sent_at=0.0))
+        network.run(until=5.0)
+        assert [p.delivered_at for p in sink.packets] == pytest.approx([0.21])
+
+    def test_constant_trace_service_is_bit_identical_to_single_rate(self):
+        from repro.cellular import TraceDrivenLink
+
+        process = constant_rate_process(1_200_000.0, duration=300.0)
+        network = Network(seed=0)
+        link = TraceDrivenLink(process, name="link")
+        sink = Collector(name="sink")
+        link.connect(sink)
+        network.add(link)
+        network.start()
+        for seq in range(3):
+            link.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        network.run()
+        assert [p.delivered_at for p in sink.packets] == [
+            12_000 / 1_200_000.0 * n for n in (1, 2, 3)
+        ]
+
+    def test_deep_fade_loss_burst_trace_is_floored(self):
+        from repro.cellular import TraceDrivenLink
+        from repro.cellular.link import MIN_SERVICE_RATE_BPS
+        from repro.corpus.generators import CorrelatedLossBurstLink
+
+        # Good for 0.5 s at 4 Mbps, then a micro-bps fade forever: without
+        # the rate floor the first fade packet would serialize for ~3e9 s,
+        # silently stalling the link.  With the floor each fade packet takes
+        # size / MIN_SERVICE_RATE_BPS = 12 s.
+        trace = CorrelatedLossBurstLink(
+            bad_rate_fraction=1e-9,
+            p_good_to_bad=1.0,
+            p_bad_to_good=0.0,
+            step_interval=0.5,
+            duration=2.0,
+        ).build(seed=0)
+        assert trace.min_rate() < MIN_SERVICE_RATE_BPS  # hazard is real
+        network = Network(seed=0)
+        link = TraceDrivenLink(trace, name="link")
+        sink = Collector(name="sink")
+        link.connect(sink)
+        network.add(link)
+        network.start()
+        for seq in range(300):
+            link.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        network.run(until=40.0)
+        fade_deliveries = [p for p in sink.packets if p.delivered_at > 0.5]
+        assert len(fade_deliveries) >= 2
+
+    def test_cellular_link_floors_fade_divisions(self):
+        from repro.cellular.link import MIN_SERVICE_RATE_BPS
+        from repro.corpus.generators import CorrelatedLossBurstLink
+
+        trace = CorrelatedLossBurstLink(
+            bad_rate_fraction=1e-9,
+            p_good_to_bad=1.0,
+            p_bad_to_good=0.0,
+            step_interval=0.5,
+            duration=2.0,
+        ).build(seed=0)
+        network = Network(seed=0)
+        link = CellularLink(trace, buffer_bits=4e6, propagation_delay=0.0)
+        sink = Collector(name="sink")
+        link.connect(sink)
+        network.add(link)
+        network.start()
+        for seq in range(300):
+            link.receive(Packet(seq=seq, flow="f", size_bits=12_000, sent_at=0.0))
+        estimates = []
+        network.sim.schedule(
+            0.75, lambda: estimates.append(link.queueing_delay_estimate())
+        )
+        network.run(until=40.0)
+        # The estimate during the fade is large but finite: occupancy over
+        # the floored rate, not occupancy over 0.004 bps.
+        assert len(estimates) == 1
+        assert 0.0 < estimates[0] <= 4e6 / MIN_SERVICE_RATE_BPS
+        # Fade-segment service attempts complete at the floored rate too.
+        fade_deliveries = [p for p in sink.packets if p.delivered_at > 0.5]
+        assert len(fade_deliveries) >= 2
+
+    def test_nominal_rate_reports_trace_mean_not_first_sample(self):
+        from repro.cellular import TraceDrivenLink
+        from repro.corpus import LinkTrace
+
+        # A trace that *starts* in an outage: the first sample would
+        # advertise a misleading ~0 nominal rate.
+        trace = LinkTrace(times=[0.0, 1.0], rates=[1e4, 4e6], duration=2.0)
+        link = TraceDrivenLink(trace, name="link")
+        assert link.rate_bps == trace.mean_rate()
+        assert link.rate_bps != trace.rate_at(0.0)
+        # Constant traces are unchanged: mean == first sample.
+        process = constant_rate_process(5e6)
+        assert TraceDrivenLink(process, name="c").rate_bps == 5e6

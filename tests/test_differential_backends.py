@@ -120,25 +120,28 @@ def random_sequence(seed: int) -> list[tuple[str, tuple]]:
     return events
 
 
+def _replay(seed: int, backend: str, max_hypotheses: int = 48):
+    """One belief of the given backend driven through the seeded script."""
+    belief = BeliefState.from_prior(
+        _prior(),
+        backend=backend,
+        kernel=GaussianKernel(sigma=0.5),
+        max_hypotheses=max_hypotheses,
+        on_degenerate="keep",
+    )
+    for kind, args in random_sequence(seed):
+        if kind == "send":
+            belief.record_send(*args)
+        else:
+            belief.update(*args)
+    return belief
+
+
 def replay_pair(seed: int, max_hypotheses: int = 48):
     """One scalar and one vectorized belief driven through the same script."""
     events = random_sequence(seed)
-    pair = []
-    for backend in ("scalar", "vectorized"):
-        belief = BeliefState.from_prior(
-            _prior(),
-            backend=backend,
-            kernel=GaussianKernel(sigma=0.5),
-            max_hypotheses=max_hypotheses,
-            on_degenerate="keep",
-        )
-        for kind, args in events:
-            if kind == "send":
-                belief.record_send(*args)
-            else:
-                belief.update(*args)
-        pair.append(belief)
-    scalar, vectorized = pair
+    scalar = _replay(seed, "scalar", max_hypotheses)
+    vectorized = _replay(seed, "vectorized", max_hypotheses)
     return scalar, vectorized, events
 
 
@@ -168,6 +171,24 @@ def assert_posteriors_equivalent(scalar, vectorized, seed: int) -> None:
         assert s_hyp.params == v_hyp.params, context
         assert s_hyp.signature() == v_hyp.signature(), context
         assert v_w == pytest.approx(s_w, abs=TOLERANCE), context
+
+
+def assert_posteriors_bit_identical(vectorized, fused, seed: int) -> None:
+    """The fused backend's bar against vectorized is *bit*-identity, not 1e-9."""
+    context = f"seed={seed}"
+    assert len(vectorized) == len(fused), context
+    assert vectorized.updates_applied == fused.updates_applied, context
+    assert vectorized.degenerate_updates == fused.degenerate_updates, context
+    assert vectorized.compacted_away == fused.compacted_away, context
+    assert vectorized.acked_seqs == fused.acked_seqs, context
+    for expected, actual in zip(vectorized.weights, fused.weights):
+        assert float(actual).hex() == float(expected).hex(), context
+    for (v_hyp, v_w), (f_hyp, f_w) in zip(
+        vectorized.top(len(vectorized)), fused.top(len(fused))
+    ):
+        assert v_hyp.params == f_hyp.params, context
+        assert v_hyp.signature() == f_hyp.signature(), context
+        assert float(f_w).hex() == float(v_w).hex(), context
 
 
 def assert_decisions_equivalent(reference, candidate, seed: int) -> None:
@@ -244,3 +265,72 @@ class TestDifferentialRolloutBackends:
             except AssertionError:
                 _triage_on_failure(seed)
                 raise
+
+
+class TestFusedBackend:
+    """The fused engine's equivalence bar: bit-identical posteriors vs the
+    unfused vectorized backend, 1e-9-rel utilities vs the scalar oracle."""
+
+    def test_fused_posteriors_bit_identical_to_vectorized(self):
+        compaction_seen = 0
+        for seed in range(SEQUENCE_COUNT):
+            vectorized = _replay(seed, "vectorized")
+            fused = _replay(seed, "fused")
+            try:
+                assert_posteriors_bit_identical(vectorized, fused, seed)
+            except AssertionError:
+                _triage_on_failure(seed)
+                raise
+            compaction_seen += fused.compacted_away
+        # The fused np.unique compaction must actually merge rows somewhere,
+        # or the bit-identity above proved nothing about it.
+        assert compaction_seen > 0
+
+    def test_fused_posteriors_equivalent_to_scalar(self):
+        for seed in range(0, SEQUENCE_COUNT, 5):
+            scalar = _replay(seed, "scalar")
+            fused = _replay(seed, "fused")
+            try:
+                assert_posteriors_equivalent(scalar, fused, seed)
+            except AssertionError:
+                _triage_on_failure(seed)
+                raise
+
+    def test_fused_tiny_cap_prune_pressure_bit_identical(self):
+        for seed in range(0, SEQUENCE_COUNT, 5):
+            vectorized = _replay(seed, "vectorized", max_hypotheses=5)
+            fused = _replay(seed, "fused", max_hypotheses=5)
+            assert len(fused) <= 5
+            try:
+                assert_posteriors_bit_identical(vectorized, fused, seed)
+            except AssertionError:
+                _triage_on_failure(seed)
+                raise
+
+    def test_fused_decisions_match_scalar_and_vectorized(self):
+        """Fused decides agree with the scalar oracle at 1e-9 — and with the
+        unfused vectorized engine *bit-exactly* (the fused kernel skips the
+        ``RolloutLanes`` repack but must run the identical arithmetic)."""
+        for seed in range(SEQUENCE_COUNT):
+            scalar = _replay(seed, "scalar")
+            vectorized = _replay(seed, "vectorized")
+            fused = _replay(seed, "fused")
+            now = random_sequence(seed)[-1][1][0]
+            reference = _planner("scalar").decide(scalar, now)
+            unfused = _planner("vectorized").decide(vectorized, now)
+            fused_decision = _planner("fused").decide(fused, now)
+            try:
+                assert_decisions_equivalent(reference, fused_decision, seed)
+                # fused falls back to the vectorized path on a scalar belief
+                assert_decisions_equivalent(
+                    reference, _planner("fused").decide(scalar, now), seed
+                )
+            except AssertionError:
+                _triage_on_failure(seed)
+                raise
+            assert fused_decision.action.delay == unfused.action.delay, seed
+            for delay, value in unfused.expected_utilities.items():
+                assert (
+                    float(fused_decision.expected_utilities[delay]).hex()
+                    == float(value).hex()
+                ), f"seed={seed} delay={delay}"
